@@ -1,0 +1,37 @@
+// Command surveytab regenerates the paper's Table 1 from the survey corpus
+// and optionally lists the corpus entries.
+//
+// Usage:
+//
+//	surveytab            # print Table 1 and the headline shares
+//	surveytab -corpus    # also list all 104 classified entries
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"blockhead/internal/survey"
+)
+
+func main() {
+	corpus := flag.Bool("corpus", false, "list the classified corpus entries")
+	flag.Parse()
+
+	tbl := survey.Table1()
+	fmt.Print(tbl.Format())
+	s, a, o := tbl.Shares()
+	fmt.Printf("\nclassified: %d of %d; simplified/solved %.0f%%, affected %.0f%%, orthogonal %.0f%%\n",
+		tbl.Classified(), tbl.Total.Pubs, s*100, a*100, o*100)
+
+	if *corpus {
+		fmt.Println()
+		for _, p := range survey.Corpus() {
+			tag := "cited"
+			if p.Synthetic {
+				tag = "synthetic"
+			}
+			fmt.Printf("%-9s %-4s %d %-5s %s\n", tag, p.Venue, p.Year, p.Cat, p.Title)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command znsbench runs the paper-reproduction experiments (E1-E12 and the
+// ablations) and prints their report tables.
+//
+// Usage:
+//
+//	znsbench                 # run everything, full size
+//	znsbench -quick          # smaller sweeps, seconds instead of minutes
+//	znsbench -run E2,E5      # selected experiments
+//	znsbench -list           # list experiments and their paper claims
+//	znsbench -seed 7         # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blockhead/internal/core"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick  = flag.Bool("quick", false, "shrink sweeps and run lengths")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		seed   = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.All() {
+			fmt.Printf("%-4s %s\n     paper: %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+		return
+	}
+
+	cfg := core.Config{Quick: *quick, Seed: *seed}
+	var selected []core.Experiment
+	if *runIDs == "" {
+		selected = core.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := core.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "znsbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "znsbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Format())
+	}
+}

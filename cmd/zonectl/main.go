@@ -1,0 +1,114 @@
+// Command zonectl is a blkzone-style tool for poking at a simulated ZNS
+// device: it builds a device, applies a scripted sequence of zone
+// operations, and dumps the zone report. It exists to make the device
+// model's state machine observable from the command line.
+//
+// Usage:
+//
+//	zonectl                                   # report on a fresh device
+//	zonectl -zones 8 -zone-pages 64           # custom layout
+//	zonectl -ops "append:0,append:0,finish:1,reset:0,open:2"
+//
+// Each op is name:zone; supported ops: open, close, finish, reset, append.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+	"blockhead/internal/zns"
+)
+
+func main() {
+	var (
+		zones     = flag.Int("zones", 16, "number of zones")
+		zonePages = flag.Int("zone-pages", 256, "pages per zone")
+		maxActive = flag.Int("max-active", 14, "active-zone limit (0 = unlimited)")
+		ops       = flag.String("ops", "", "comma-separated ops, e.g. append:0,finish:1,reset:0")
+		cell      = flag.String("cell", "TLC", "cell type: SLC, MLC, TLC, QLC, PLC")
+	)
+	flag.Parse()
+
+	dev, err := buildDevice(*zones, *zonePages, *maxActive, *cell)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zonectl:", err)
+		os.Exit(1)
+	}
+
+	var at sim.Time
+	if *ops != "" {
+		for _, op := range strings.Split(*ops, ",") {
+			at, err = apply(dev, at, strings.TrimSpace(op))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zonectl: %s: %v\n", op, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	fmt.Printf("device: %d zones x %d pages (%d KiB), max-active %d, virtual time %.3f ms\n",
+		dev.NumZones(), dev.ZonePages(),
+		dev.ZonePages()*int64(dev.PageSize())/1024, dev.MaxActive(), at.Millis())
+	fmt.Printf("active %d, open %d, resets %d, appends %d\n\n",
+		dev.ActiveZones(), dev.OpenZones(), dev.Resets(), dev.Appends())
+	fmt.Printf("%-6s %-10s %10s %10s\n", "zone", "state", "wp", "cap")
+	for _, zi := range dev.ZoneReport() {
+		fmt.Printf("%-6d %-10s %10d %10d\n", zi.Zone, zi.State, zi.WP, zi.Cap)
+	}
+}
+
+func buildDevice(zones, zonePages, maxActive int, cell string) (*zns.Device, error) {
+	var ct flash.CellType
+	switch strings.ToUpper(cell) {
+	case "SLC":
+		ct = flash.SLC
+	case "MLC":
+		ct = flash.MLC
+	case "TLC":
+		ct = flash.TLC
+	case "QLC":
+		ct = flash.QLC
+	case "PLC":
+		ct = flash.PLC
+	default:
+		return nil, fmt.Errorf("unknown cell type %q", cell)
+	}
+	// One block per zone on a LUN-per-channel geometry wide enough to hold
+	// the requested zone count.
+	geom := flash.Geometry{Channels: 4, DiesPerChan: 1, PlanesPerDie: 1,
+		BlocksPerLUN: (zones + 3) / 4, PagesPerBlock: zonePages, PageSize: 4096}
+	return zns.New(zns.Config{Geom: geom, Lat: flash.LatenciesFor(ct),
+		ZoneBlocks: 1, MaxActive: maxActive})
+}
+
+func apply(dev *zns.Device, at sim.Time, op string) (sim.Time, error) {
+	name, zoneStr, ok := strings.Cut(op, ":")
+	if !ok {
+		return at, fmt.Errorf("want name:zone")
+	}
+	z, err := strconv.Atoi(zoneStr)
+	if err != nil {
+		return at, err
+	}
+	switch name {
+	case "open":
+		return at, dev.Open(at, z)
+	case "close":
+		return at, dev.Close(at, z)
+	case "finish":
+		return at, dev.Finish(at, z)
+	case "reset":
+		done, err := dev.Reset(at, z)
+		return done, err
+	case "append":
+		_, done, err := dev.Append(at, z, nil)
+		return done, err
+	default:
+		return at, fmt.Errorf("unknown op %q", name)
+	}
+}

@@ -1,0 +1,10 @@
+// Package blockhead is a from-scratch reproduction of "Don't Be a
+// Blockhead: Zoned Namespaces Make Work on Conventional SSDs Obsolete"
+// (HotOS '21): a NAND flash simulator, a conventional page-mapped FTL, a
+// ZNS device model, and the host-side stacks (block translation layer,
+// LSM key-value store, flash cache, zones-as-files) needed to regenerate
+// every table, figure, and quantitative claim in the paper.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and cmd/znsbench to run the experiments.
+package blockhead

@@ -1,0 +1,81 @@
+// blockdev: rebuild the conventional block interface on a ZNS SSD in host
+// software, as §2.3 describes ("it was straightforward to implement the
+// block interface on the host"). Random 4K overwrites flow through the
+// host translation layer; relocation uses the NVMe simple-copy command, so
+// no relocation byte ever crosses PCIe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/hostftl"
+	"blockhead/internal/sim"
+	"blockhead/internal/workload"
+	"blockhead/internal/zns"
+)
+
+func main() {
+	dev, err := zns.New(zns.Config{
+		Geom: flash.Geometry{Channels: 4, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerLUN: 32, PagesPerBlock: 64, PageSize: 4096},
+		Lat:        flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 1,
+		StoreData:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := hostftl.New(dev, hostftl.Config{
+		OPFraction:     0.15,
+		ZonesPerStream: 4,
+		UseSimpleCopy:  true,
+		GCMode:         hostftl.GCIncremental,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("block device: %d logical pages over %d zones (host-side FTL)\n\n",
+		f.CapacityPages(), dev.NumZones())
+
+	// Random overwrites, 4x the logical capacity — impossible on raw zones,
+	// routine through the translation layer.
+	src := workload.NewSource(11)
+	keys := workload.NewUniform(src, f.CapacityPages())
+	var at sim.Time
+	payload := []byte("random block write")
+	n := 4 * f.CapacityPages()
+	for i := int64(0); i < n; i++ {
+		lpn := keys.Next()
+		if at, err = f.Write(at, lpn, payload); err != nil {
+			log.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// Read-after-write across the whole space still holds.
+	checked := 0
+	for lpn := int64(0); lpn < f.CapacityPages(); lpn += 97 {
+		_, data, err := f.Read(at, lpn)
+		if err == hostftl.ErrUnmapped {
+			continue
+		}
+		if err != nil {
+			log.Fatalf("read %d: %v", lpn, err)
+		}
+		if string(data) != string(payload) {
+			log.Fatalf("lpn %d: corrupted payload %q", lpn, data)
+		}
+		checked++
+	}
+
+	c := f.Counters()
+	fmt.Printf("wrote %d pages (%.1fx capacity) in %.0f ms of device time\n",
+		n, 4.0, at.Millis())
+	fmt.Printf("verified %d read-after-write samples\n\n", checked)
+	fmt.Printf("write amplification: %.2f (host-chosen OP of 15%%)\n", f.WriteAmp())
+	fmt.Printf("zones recycled:      %d\n", f.GCResets())
+	fmt.Printf("PCIe traffic:        %.1f MiB for %.1f MiB of host I/O\n",
+		float64(c.PCIeBytes)/(1<<20),
+		float64((c.HostWritePages+c.HostReadPages)*4096)/(1<<20))
+	fmt.Println("\nRelocation moved data with simple copy: PCIe bytes == host bytes (§2.3).")
+}

@@ -1,0 +1,159 @@
+// queue: the §4.2 problem workload — "multi-writer workloads where writes
+// are concentrated in a single zone, such as persistent queues and
+// append-only data structures" — built both ways:
+//
+//   - with regular zone writes, where every producer must hold the
+//     write-pointer lock across its whole write, and
+//   - with zone append, where the device serializes and producers never
+//     coordinate.
+//
+// Eight producers enqueue 4 KiB records; a consumer drains in order and
+// fully-consumed zones are reset for reuse. The enqueue throughput gap is
+// the paper's argument for adding append to the spec.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+	"blockhead/internal/zns"
+)
+
+const (
+	producers = 8
+	records   = 4000
+)
+
+func newDevice() *zns.Device {
+	dev, err := zns.New(zns.Config{
+		Geom: flash.Geometry{Channels: 8, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerLUN: 8, PagesPerBlock: 128, PageSize: 4096},
+		Lat:        flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 8, // the queue's head zone stripes all 8 LUNs
+		StoreData:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dev
+}
+
+// queue is an append-only multi-producer queue over zones.
+type queue struct {
+	dev       *zns.Device
+	useAppend bool
+	head      int // zone being produced into
+	tailZone  int // zone being consumed
+	tailOff   int64
+	lockFree  sim.Time // write-pointer lock (regular-write mode only)
+	enqueued  uint64
+	dequeued  uint64
+}
+
+// enqueue appends one record at time t on behalf of one producer and
+// returns its completion time.
+func (q *queue) enqueue(t sim.Time, payload []byte) (sim.Time, error) {
+	if q.dev.WP(q.head) >= q.dev.WritableCap(q.head) {
+		next := (q.head + 1) % q.dev.NumZones()
+		if next == q.tailZone {
+			return t, fmt.Errorf("queue full")
+		}
+		q.head = next
+	}
+	if q.useAppend {
+		_, done, err := q.dev.Append(t, q.head, payload)
+		if err == nil {
+			q.enqueued++
+		}
+		return done, err
+	}
+	// Regular writes: hold the WP lock from issue to completion.
+	start := sim.Max(t, q.lockFree)
+	done, err := q.dev.Write(start, q.dev.LBA(q.head, q.dev.WP(q.head)), payload)
+	if err != nil {
+		return t, err
+	}
+	q.lockFree = done
+	q.enqueued++
+	return done, nil
+}
+
+// dequeue pops the oldest record; fully-drained zones are reset.
+func (q *queue) dequeue(t sim.Time) (sim.Time, []byte, error) {
+	if q.dequeued >= q.enqueued {
+		return t, nil, fmt.Errorf("queue empty")
+	}
+	done, data, err := q.dev.Read(t, q.dev.LBA(q.tailZone, q.tailOff))
+	if err != nil {
+		return t, nil, err
+	}
+	q.dequeued++
+	q.tailOff++
+	if q.tailOff >= q.dev.WritableCap(q.tailZone) {
+		if done, err = q.dev.Reset(done, q.tailZone); err != nil {
+			return done, nil, err
+		}
+		q.tailZone = (q.tailZone + 1) % q.dev.NumZones()
+		q.tailOff = 0
+	}
+	return done, data, nil
+}
+
+// produceAll runs the producers closed-loop and returns the virtual time
+// the last record lands.
+func produceAll(q *queue) sim.Time {
+	times := make([]sim.Time, producers)
+	var last sim.Time
+	for i := 0; i < records; i++ {
+		// Next producer is whoever's clock is earliest (a tiny scheduler).
+		p := 0
+		for j := 1; j < producers; j++ {
+			if times[j] < times[p] {
+				p = j
+			}
+		}
+		done, err := q.enqueue(times[p], []byte(fmt.Sprintf("record-%05d", i)))
+		if err != nil {
+			log.Fatalf("enqueue %d: %v", i, err)
+		}
+		times[p] = done
+		if done > last {
+			last = done
+		}
+	}
+	return last
+}
+
+func run(useAppend bool) {
+	q := &queue{dev: newDevice(), useAppend: useAppend, tailZone: 0}
+	end := produceAll(q)
+	mode := "write+lock"
+	if useAppend {
+		mode = "zone append"
+	}
+	fmt.Printf("%-12s %d producers enqueued %d records in %7.1f ms (%6.0f rec/s)\n",
+		mode, producers, records, end.Millis(), float64(records)/end.Seconds())
+
+	// Drain a few records to show ordering survives either path.
+	at := end
+	for i := 0; i < 3; i++ {
+		var data []byte
+		var err error
+		at, data, err = q.dequeue(at)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12s dequeued %q\n", "", data)
+	}
+}
+
+func main() {
+	fmt.Println("persistent queue over one shared zone (§4.2's problem workload)")
+	fmt.Println()
+	run(false)
+	run(true)
+	fmt.Println("\nThe append command lets the device serialize concurrent producers,")
+	fmt.Println("restoring the stripe's parallelism that the write-pointer lock destroys.")
+}

@@ -1,0 +1,95 @@
+// Quickstart: create a simulated ZNS SSD, walk a zone through its life
+// cycle (§2.1) — open, sequential writes at the write pointer, the
+// write-pointer rule, zone append, read back, finish, reset — and print
+// the zone report at each step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+	"blockhead/internal/zns"
+)
+
+func main() {
+	// An 8-zone device with 4-block zones striped over 4 LUNs.
+	dev, err := zns.New(zns.Config{
+		Geom: flash.Geometry{Channels: 4, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerLUN: 8, PagesPerBlock: 64, PageSize: 4096},
+		Lat:        flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 4,
+		MaxActive:  14, // the paper's example device supports 14
+		StoreData:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device: %d zones x %d pages (%.0f MiB each), max %d active\n\n",
+		dev.NumZones(), dev.ZonePages(),
+		float64(dev.ZonePages()*int64(dev.PageSize()))/(1<<20), dev.MaxActive())
+
+	var at sim.Time
+
+	// 1. Writes must land exactly at the write pointer.
+	fmt.Println("1. sequential writes at the write pointer")
+	for i := 0; i < 3; i++ {
+		done, err := dev.Write(at, dev.LBA(0, dev.WP(0)), []byte(fmt.Sprintf("page-%d", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   wrote zone 0 offset %d, done at %.1f us\n", dev.WP(0)-1, done.Micros())
+		at = done
+	}
+
+	// 2. A write anywhere else is rejected: this is the §4.2 serialization
+	// problem for multi-writer hosts.
+	fmt.Println("\n2. out-of-order write")
+	if _, err := dev.Write(at, dev.LBA(0, 10), nil); err != nil {
+		fmt.Printf("   rejected as expected: %v\n", err)
+	}
+
+	// 3. Zone append lets the device pick the offset.
+	fmt.Println("\n3. zone append")
+	lba, done, err := dev.Append(at, 0, []byte("appended"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	z, off := dev.ZoneOf(lba)
+	fmt.Printf("   device placed it at zone %d offset %d\n", z, off)
+	at = done
+
+	// 4. Read it back.
+	done, data, err := dev.Read(at, lba)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n4. read back: %q (%.1f us)\n", data, (done - at).Micros())
+	at = done
+
+	// 5. Finish releases the zone's active resources without filling it.
+	if err := dev.Finish(at, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n5. finished zone 0: state=%v, active zones now %d\n", dev.State(0), dev.ActiveZones())
+
+	// 6. Reset erases the zone's blocks; the erases run in parallel across
+	// the stripe's LUNs.
+	done, err = dev.Reset(at, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n6. reset zone 0 in %.2f ms (4 block erases in parallel)\n", (done - at).Millis())
+	at = done
+
+	// 7. The zone report, blkzone style.
+	fmt.Println("\n7. zone report")
+	for _, zi := range dev.ZoneReport()[:4] {
+		fmt.Printf("   zone %d: %-6s wp=%-4d cap=%d\n", zi.Zone, zi.State, zi.WP, zi.Cap)
+	}
+
+	c := dev.Counters()
+	fmt.Printf("\ncounters: host writes %d, flash programs %d (WA %.2f — the device never copies)\n",
+		c.HostWritePages, c.FlashProgramPages, c.WriteAmp())
+}

@@ -1,0 +1,3 @@
+module blockhead
+
+go 1.22

@@ -1,0 +1,192 @@
+// Integration tests driving several subsystems together, end to end.
+package blockhead
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"blockhead/internal/core"
+	"blockhead/internal/flash"
+	"blockhead/internal/ftl"
+	"blockhead/internal/hostftl"
+	"blockhead/internal/sim"
+	"blockhead/internal/trace"
+	"blockhead/internal/workload"
+	"blockhead/internal/zkv"
+	"blockhead/internal/zns"
+)
+
+// One workload trace, recorded once, replayed against both device classes:
+// the §4.2 "systematically test workloads" loop in miniature.
+func TestIntegrationTraceReplayAcrossDevices(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	src := workload.NewSource(5)
+	arr := workload.NewPoisson(src, 4000)
+	keys := workload.NewZipf(src, 4000, 0.99)
+	var at sim.Time
+	const ops = 30000
+	for i := 0; i < ops; i++ {
+		at = arr.Next(at)
+		kind := trace.OpWrite
+		if src.Float64() < 0.25 {
+			kind = trace.OpRead
+		}
+		if err := w.Append(trace.Record{At: at, Kind: kind, LBA: keys.Next(), Pages: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	geom := flash.Geometry{Channels: 4, DiesPerChan: 1, PlanesPerDie: 1,
+		BlocksPerLUN: 32, PagesPerBlock: 64, PageSize: 4096}
+
+	// Conventional replay.
+	conv, err := ftl.NewDefault(geom, flash.LatenciesFor(flash.TLC), 0.11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := map[int64]bool{}
+	nConv, err := trace.Replay(trace.NewReader(bytes.NewReader(raw)), func(rec trace.Record) error {
+		lpn := rec.LBA % conv.CapacityPages()
+		switch rec.Kind {
+		case trace.OpWrite:
+			_, err := conv.WritePage(rec.At, lpn, nil)
+			written[lpn] = true
+			return err
+		case trace.OpRead:
+			if !written[lpn] {
+				return nil
+			}
+			_, _, err := conv.ReadPage(rec.At, lpn)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Block-on-ZNS replay of the identical bytes.
+	zdev, err := zns.New(zns.Config{Geom: geom, Lat: flash.LatenciesFor(flash.TLC), ZoneBlocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := hostftl.New(zdev, hostftl.Config{ZonesPerStream: 4, UseSimpleCopy: true,
+		GCMode: hostftl.GCIncremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	written = map[int64]bool{}
+	nHost, err := trace.Replay(trace.NewReader(bytes.NewReader(raw)), func(rec trace.Record) error {
+		lpn := rec.LBA % host.CapacityPages()
+		switch rec.Kind {
+		case trace.OpWrite:
+			_, err := host.Write(rec.At, lpn, nil)
+			written[lpn] = true
+			return err
+		case trace.OpRead:
+			if !written[lpn] {
+				return nil
+			}
+			_, _, err := host.Read(rec.At, lpn)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nConv != ops || nHost != ops {
+		t.Fatalf("replayed %d/%d records, want %d", nConv, nHost, ops)
+	}
+	if conv.Counters().WriteAmp() < 1 || host.WriteAmp() < 1 {
+		t.Error("write amplification below 1 is impossible")
+	}
+}
+
+// The LSM store must keep its data intact while the underlying ZNS device
+// wears out and shrinks zones underneath it.
+func TestIntegrationKVOnWearingDevice(t *testing.T) {
+	dev, err := zns.New(zns.Config{
+		Geom: flash.Geometry{Channels: 2, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerLUN: 96, PagesPerBlock: 64, PageSize: 1024},
+		Lat:        flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 2,
+		Endurance:  4, // very low: zones start dying mid-run
+		StoreData:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := zkv.NewZNSBackend(dev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := zkv.Open(backend, zkv.Options{MemtableBytes: 32 << 10,
+		BaseLevelBytes: 128 << 10, TableTargetBytes: 16 << 10, Seed: 1})
+	src := workload.NewSource(2)
+	keys := workload.NewUniform(src, 1500)
+	key := func(i int64) []byte { return []byte(fmt.Sprintf("k%07d", i)) }
+	latest := map[int64]int{}
+	var at sim.Time
+	for i := 0; i < 20000; i++ {
+		k := keys.Next()
+		var err error
+		at, err = db.Put(at, key(k), []byte(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			// Running out of healthy zones is a legitimate end state; the
+			// data written so far must still be intact.
+			t.Logf("device wore out after %d puts: %v", i, err)
+			break
+		}
+		latest[k] = i
+	}
+	checked := 0
+	for k, v := range latest {
+		_, got, found, err := db.Get(at, key(k))
+		if err != nil {
+			t.Fatalf("get %d: %v", k, err)
+		}
+		if !found || string(got) != fmt.Sprintf("v%d", v) {
+			t.Fatalf("key %d corrupted on wearing device: %q (want v%d)", k, got, v)
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d keys verified; device died too early to test anything", checked)
+	}
+}
+
+// Experiments are deterministic: identical seeds give identical results,
+// and the headline shape holds across seeds.
+func TestIntegrationDeterminism(t *testing.T) {
+	a, _, err := core.E2Point(0.11, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := core.E2Point(0.11, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different WA: %v vs %v", a, b)
+	}
+	for _, seed := range []int64{1, 99, 12345} {
+		lo, _, err := core.E2Point(0.25, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, _, err := core.E2Point(0, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hi <= 3*lo {
+			t.Errorf("seed %d: WA(0%%)=%v not well above WA(25%%)=%v", seed, hi, lo)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/ftl"
+	"blockhead/internal/sim"
+	"blockhead/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "A5",
+		Title:      "Ablation: how much of the tail argument survives a smarter device?",
+		PaperClaim: "even a device that paces its own GC cannot use application information — the tail gap narrows, the WA/cost gaps do not",
+		Run:        runA5,
+	})
+}
+
+// E6ConventionalIncremental is E6's baseline device upgraded with
+// device-side incremental GC — the strongest conventional controller our
+// model supports.
+func E6ConventionalIncremental(cfg Config) (E6Result, error) {
+	dev, err := ftl.New(ftl.Config{
+		Geom:              e6Geometry(),
+		Lat:               flash.LatenciesFor(flash.TLC),
+		OPFraction:        0.11,
+		GCMode:            ftl.GCDeviceIncremental,
+		GCChunkPages:      8,
+		HotColdSeparation: true,
+		TrimSupported:     true,
+	})
+	if err != nil {
+		return E6Result{}, err
+	}
+	var at sim.Time
+	for lpn := int64(0); lpn < dev.CapacityPages(); lpn++ {
+		if at, err = dev.WritePage(at, lpn, nil); err != nil {
+			return E6Result{}, err
+		}
+	}
+	src := workload.NewSource(cfg.Seed)
+	hc := workload.NewHotCold(src, dev.CapacityPages(), 0.1, 0.9)
+	for i := int64(0); i < dev.CapacityPages(); i++ { // age to steady state
+		if at, err = dev.WritePage(at, hc.Next(), nil); err != nil {
+			return E6Result{}, err
+		}
+	}
+	rKeys := workload.NewUniform(src, dev.CapacityPages())
+	return e6Measure(e6Stack{
+		name:  "conventional (device-incremental GC)",
+		write: func(t sim.Time) (sim.Time, error) { return dev.WritePage(t, hc.Next(), nil) },
+		read: func(t sim.Time) (sim.Time, error) {
+			done, _, err := dev.ReadPage(t, rKeys.Next())
+			return done, err
+		},
+		counters: func() (uint64, uint64) {
+			c := dev.Counters()
+			return c.HostWritePages, c.FlashProgramPages
+		},
+		at:  at,
+		src: src,
+	}, cfg)
+}
+
+func runA5(cfg Config) (Report, error) {
+	r := Report{
+		ID:         "A5",
+		Title:      "Foreground vs device-incremental vs host-scheduled GC",
+		PaperClaim: "pacing helps any controller; application information helps only the host",
+		Header: []string{"Configuration", "Write pages/s", "WA",
+			"Read mean (us)", "Read p99 (us)", "Read p999 (us)"},
+	}
+	fg, err := E6Conventional(cfg)
+	if err != nil {
+		return r, err
+	}
+	inc, err := E6ConventionalIncremental(cfg)
+	if err != nil {
+		return r, err
+	}
+	host, err := E6HostFTL(cfg)
+	if err != nil {
+		return r, err
+	}
+	for _, e := range []E6Result{fg, inc, host} {
+		r.AddRow(e.Name, fmt.Sprintf("%.0f", e.WritePagesPS), fmt.Sprintf("%.2f", e.WA),
+			fmt.Sprintf("%.0f", e.ReadMean.Micros()),
+			fmt.Sprintf("%.0f", e.ReadP99.Micros()),
+			fmt.Sprintf("%.0f", e.ReadP999.Micros()))
+	}
+	r.AddNote("pacing buys the device only a modest p999 improvement (%.1fx) and costs it",
+		float64(fg.ReadP999)/float64(inc.ReadP999))
+	r.AddNote("write amplification (earlier triggers pick poorer victims); the host still")
+	r.AddNote("wins tails by %.0fx and WA by %.1fx — controller smarts cannot substitute",
+		float64(fg.ReadP999)/float64(host.ReadP999), inc.WA/host.WA)
+	r.AddNote("for application information (§4.1) or remove the DRAM/OP costs (E3/E11)")
+	return r, nil
+}

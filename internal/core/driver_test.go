@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"blockhead/internal/sim"
+	"blockhead/internal/workload"
+)
+
+// A fake device: fixed service time per op on one resource.
+type fakeDev struct {
+	res     sim.Resource
+	service sim.Time
+}
+
+func (d *fakeDev) op(at sim.Time) (sim.Time, error) {
+	_, end := d.res.Acquire(at, d.service)
+	return end, nil
+}
+
+func TestRunMixedClosedLoop(t *testing.T) {
+	d := &fakeDev{service: sim.Millisecond}
+	res := RunMixed(MixedCfg{
+		Writers:  1,
+		Write:    d.op,
+		Duration: sim.Second,
+		Src:      workload.NewSource(1),
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// One closed-loop writer on a 1ms-service resource: ~1000 ops/s.
+	if res.WriteOps < 950 || res.WriteOps > 1050 {
+		t.Errorf("WriteOps = %d, want ~1000", res.WriteOps)
+	}
+	if res.WriteLat.Mean != sim.Millisecond {
+		t.Errorf("mean write latency = %v, want 1ms", res.WriteLat.Mean)
+	}
+}
+
+func TestRunMixedClosedLoopContention(t *testing.T) {
+	d := &fakeDev{service: sim.Millisecond}
+	res := RunMixed(MixedCfg{
+		Writers:  4,
+		Write:    d.op,
+		Duration: sim.Second,
+		Src:      workload.NewSource(1),
+	})
+	// The resource serializes: still ~1000 ops/s, but each op waits behind
+	// the other three workers.
+	if res.WriteOps < 950 || res.WriteOps > 1100 {
+		t.Errorf("WriteOps = %d, want ~1000 (resource-bound)", res.WriteOps)
+	}
+	if res.WriteLat.Mean < 3*sim.Millisecond {
+		t.Errorf("queueing not visible: mean = %v", res.WriteLat.Mean)
+	}
+}
+
+func TestRunMixedOpenLoopReads(t *testing.T) {
+	d := &fakeDev{service: 100 * sim.Microsecond}
+	res := RunMixed(MixedCfg{
+		ReadRate: 2000,
+		Read:     d.op,
+		Duration: sim.Second,
+		Src:      workload.NewSource(2),
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// ~2000 Poisson arrivals in 1s at 20% utilization.
+	if res.ReadOps < 1700 || res.ReadOps > 2300 {
+		t.Errorf("ReadOps = %d, want ~2000", res.ReadOps)
+	}
+	if res.ReadLat.Mean < 100*sim.Microsecond {
+		t.Errorf("read latency below service time: %v", res.ReadLat.Mean)
+	}
+}
+
+func TestRunMixedWarmupExcluded(t *testing.T) {
+	d := &fakeDev{service: sim.Millisecond}
+	res := RunMixed(MixedCfg{
+		Writers:  1,
+		Write:    d.op,
+		Duration: sim.Second,
+		Warmup:   500 * sim.Millisecond,
+		Src:      workload.NewSource(3),
+	})
+	if res.WriteOps > 550 {
+		t.Errorf("WriteOps = %d; warmup ops must be excluded", res.WriteOps)
+	}
+}
+
+func TestRunMixedStartOffset(t *testing.T) {
+	d := &fakeDev{service: sim.Millisecond}
+	d.res.Acquire(0, 10*sim.Second) // device busy until t=10s (pre-fill)
+	res := RunMixed(MixedCfg{
+		Writers:  1,
+		Write:    d.op,
+		Start:    10 * sim.Second,
+		Duration: sim.Second,
+		Src:      workload.NewSource(4),
+	})
+	// Starting after the pre-fill, latencies are clean again.
+	if res.WriteLat.Mean > 2*sim.Millisecond {
+		t.Errorf("mean latency %v polluted by pre-fill backlog", res.WriteLat.Mean)
+	}
+}
+
+func TestRunMixedErrorStops(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	res := RunMixed(MixedCfg{
+		Writers: 1,
+		Write: func(at sim.Time) (sim.Time, error) {
+			calls++
+			if calls >= 3 {
+				return at, boom
+			}
+			return at + sim.Millisecond, nil
+		},
+		Duration: sim.Second,
+		Src:      workload.NewSource(5),
+	})
+	if !errors.Is(res.Err, boom) {
+		t.Fatalf("Err = %v, want boom", res.Err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d; loop must stop on error", calls)
+	}
+}

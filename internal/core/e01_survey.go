@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"blockhead/internal/survey"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "E1",
+		Title:      "Table 1: impact of ZNS adoption on existing flash-SSD work",
+		PaperClaim: "23% of SSD papers simplified/solved, 59% affected, 18% orthogonal (104 of 465 classified)",
+		Run:        runE1,
+	})
+}
+
+func runE1(cfg Config) (Report, error) {
+	r := Report{
+		ID:         "E1",
+		Title:      "Survey taxonomy (Table 1)",
+		PaperClaim: "FAST 9/8/23/8, OSDI 3/0/4/0, SOSP 2/2/2/0, MSST 10/7/16/10; totals 24/17/45/18",
+		Header:     []string{"Venue", "#Pubs.", "Simpl", "Appr", "Res", "Orth"},
+	}
+	tbl := survey.Table1()
+	for _, row := range tbl.Rows {
+		r.AddRow(string(row.Venue), fmt.Sprint(row.Pubs),
+			fmt.Sprint(row.Counts[0]), fmt.Sprint(row.Counts[1]),
+			fmt.Sprint(row.Counts[2]), fmt.Sprint(row.Counts[3]))
+	}
+	r.AddRow("Total", fmt.Sprint(tbl.Total.Pubs),
+		fmt.Sprint(tbl.Total.Counts[0]), fmt.Sprint(tbl.Total.Counts[1]),
+		fmt.Sprint(tbl.Total.Counts[2]), fmt.Sprint(tbl.Total.Counts[3]))
+	s, a, o := tbl.Shares()
+	r.AddNote("classified: %d; shares: simplified %.0f%%, affected %.0f%%, orthogonal %.0f%%",
+		tbl.Classified(), s*100, a*100, o*100)
+	nSynth := 0
+	for _, p := range survey.Corpus() {
+		if p.Synthetic {
+			nSynth++
+		}
+	}
+	r.AddNote("corpus: %d cited papers + %d synthetic stand-ins (authors' corpus unpublished)",
+		tbl.Classified()-nSynth, nSynth)
+	return r, nil
+}

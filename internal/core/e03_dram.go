@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"blockhead/internal/cost"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "E3",
+		Title:      "On-board DRAM for address translation (§2.2 estimate)",
+		PaperClaim: "~1 GB per TB for a page-mapped FTL vs ~256 KB per TB for a zone FTL with 16 MB blocks",
+		Run:        runE3,
+	})
+}
+
+func runE3(cfg Config) (Report, error) {
+	r := Report{
+		ID:         "E3",
+		Title:      "Mapping-table DRAM per device",
+		PaperClaim: "conventional ~1 GB/TB; ZNS ~256 KB/TB (4 B entries, 4 KB pages, 16 MB blocks)",
+		Header:     []string{"Device", "Capacity", "Granularity", "Mapping DRAM"},
+	}
+	const tb = int64(1) << 40
+	for _, capTB := range []int64{1, 2, 4, 8} {
+		capacity := capTB * tb
+		conv := cost.ConvMappingBytes(capacity, 4096)
+		zns := cost.ZNSMappingBytes(capacity, 16<<20)
+		r.AddRow("conventional", fmt.Sprintf("%d TB", capTB), "4 KB page",
+			fmt.Sprintf("%.0f MiB", float64(conv)/(1<<20)))
+		r.AddRow("zns", fmt.Sprintf("%d TB", capTB), "16 MB block",
+			fmt.Sprintf("%.0f KiB", float64(zns)/(1<<10)))
+	}
+	conv := cost.ConvMappingBytes(tb, 4096)
+	zns := cost.ZNSMappingBytes(tb, 16<<20)
+	r.AddNote("reduction at 1 TB: %dx", conv/zns)
+	return r, nil
+}

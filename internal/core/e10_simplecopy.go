@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/ftl"
+	"blockhead/internal/hostftl"
+	"blockhead/internal/sim"
+	"blockhead/internal/stats"
+	"blockhead/internal/workload"
+	"blockhead/internal/zns"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "E10",
+		Title:      "Block-on-ZNS with the simple-copy command (§2.3)",
+		PaperClaim: "host-built block interface over ZNS: with simple copy, relocation uses no PCIe bandwidth, enabling performance comparable to conventional SSDs",
+		Run:        runE10,
+	})
+}
+
+// E10Result is one configuration's measurement.
+type E10Result struct {
+	Name          string
+	WritePagesPS  float64
+	WA            float64
+	PCIePerHostKB float64 // PCIe KiB moved per host KiB written
+}
+
+func e10Geometry() flash.Geometry {
+	return flash.Geometry{Channels: 4, DiesPerChan: 1, PlanesPerDie: 1,
+		BlocksPerLUN: 64, PagesPerBlock: 64, PageSize: 4096}
+}
+
+// E10Conv is the conventional yardstick for "performance comparable".
+func E10Conv(cfg Config) (E10Result, error) {
+	dev, err := ftl.NewDefault(e10Geometry(), flash.LatenciesFor(flash.TLC), 0.11)
+	if err != nil {
+		return E10Result{}, err
+	}
+	var at sim.Time
+	for lpn := int64(0); lpn < dev.CapacityPages(); lpn++ {
+		if at, err = dev.WritePage(at, lpn, nil); err != nil {
+			return E10Result{}, err
+		}
+	}
+	keys := workload.NewUniform(workload.NewSource(cfg.Seed), dev.CapacityPages())
+	base := *dev.Counters()
+	baseAt := at
+	n := e10Writes(cfg)
+	for i := 0; i < n; i++ {
+		if at, err = dev.WritePage(at, keys.Next(), nil); err != nil {
+			return E10Result{}, err
+		}
+	}
+	c := *dev.Counters()
+	host := c.HostWritePages - base.HostWritePages
+	return E10Result{
+		Name:         "conventional SSD",
+		WritePagesPS: stats.Rate(host, at-baseAt),
+		WA:           float64(c.FlashProgramPages-base.FlashProgramPages) / float64(host),
+		PCIePerHostKB: float64(c.PCIeBytes-base.PCIeBytes) /
+			float64(host*uint64(dev.PageSize())),
+	}, nil
+}
+
+// E10HostFTL runs the same random-write block workload over the host
+// translation layer, with relocation via host read+write or simple copy.
+func E10HostFTL(simpleCopy bool, cfg Config) (E10Result, error) {
+	dev, err := zns.New(zns.Config{Geom: e10Geometry(), Lat: flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 1})
+	if err != nil {
+		return E10Result{}, err
+	}
+	f, err := hostftl.New(dev, hostftl.Config{
+		OPFraction:     0.18,
+		ZonesPerStream: 4,
+		UseSimpleCopy:  simpleCopy,
+	})
+	if err != nil {
+		return E10Result{}, err
+	}
+	var at sim.Time
+	for lpn := int64(0); lpn < f.CapacityPages(); lpn++ {
+		if at, err = f.Write(at, lpn, nil); err != nil {
+			return E10Result{}, err
+		}
+	}
+	keys := workload.NewUniform(workload.NewSource(cfg.Seed), f.CapacityPages())
+	base := *f.Counters()
+	baseHost := f.HostWrites()
+	baseAt := at
+	n := e10Writes(cfg)
+	for i := 0; i < n; i++ {
+		if at, err = f.Write(at, keys.Next(), nil); err != nil {
+			return E10Result{}, err
+		}
+	}
+	c := *f.Counters()
+	host := f.HostWrites() - baseHost
+	name := "block-on-ZNS (host copy)"
+	if simpleCopy {
+		name = "block-on-ZNS (simple copy)"
+	}
+	return E10Result{
+		Name:         name,
+		WritePagesPS: stats.Rate(host, at-baseAt),
+		WA:           float64(c.FlashProgramPages-base.FlashProgramPages) / float64(host),
+		PCIePerHostKB: float64(c.PCIeBytes-base.PCIeBytes) /
+			float64(host*uint64(f.PageSize())),
+	}, nil
+}
+
+func e10Writes(cfg Config) int {
+	if cfg.Quick {
+		return 20000
+	}
+	return 60000
+}
+
+func runE10(cfg Config) (Report, error) {
+	r := Report{
+		ID:         "E10",
+		Title:      "Rebuilding the block interface on ZNS",
+		PaperClaim: "simple copy removes relocation from the PCIe bus; performance comparable to conventional",
+		Header:     []string{"Configuration", "Write pages/s", "WA", "PCIe bytes/host byte"},
+	}
+	conv, err := E10Conv(cfg)
+	if err != nil {
+		return r, err
+	}
+	hostCopy, err := E10HostFTL(false, cfg)
+	if err != nil {
+		return r, err
+	}
+	sc, err := E10HostFTL(true, cfg)
+	if err != nil {
+		return r, err
+	}
+	for _, e := range []E10Result{conv, hostCopy, sc} {
+		r.AddRow(e.Name, fmt.Sprintf("%.0f", e.WritePagesPS), fmt.Sprintf("%.2f", e.WA),
+			fmt.Sprintf("%.2f", e.PCIePerHostKB))
+	}
+	r.AddNote("simple-copy PCIe saving vs host copy: %.0f%%; throughput vs conventional: %.2fx",
+		(1-sc.PCIePerHostKB/hostCopy.PCIePerHostKB)*100,
+		sc.WritePagesPS/conv.WritePagesPS)
+	return r, nil
+}

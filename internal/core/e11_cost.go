@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"blockhead/internal/cost"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "E11",
+		Title:      "Per-gigabyte device cost (§2.2, §2.3 footnote 2)",
+		PaperClaim: "ZNS costs less per GB: no GC overprovisioning, ~4000x less on-board DRAM; host DRAM (if any) is bought at large-DIMM prices, less than half the per-GB price of embedded chips",
+		Run:        runE11,
+	})
+}
+
+func runE11(cfg Config) (Report, error) {
+	r := Report{
+		ID:         "E11",
+		Title:      "Bill of materials: 1 TB usable",
+		PaperClaim: "overprovisioning (7-28%) and mapping DRAM make conventional devices dearer per usable GB",
+		Header: []string{"Device", "Raw flash GB", "On-board DRAM", "Host DRAM",
+			"$ total", "$/usable GB", "Saving vs conv"},
+	}
+	p := cost.DefaultParams()
+	if err := p.Validate(); err != nil {
+		return r, err
+	}
+	const usable = 1024.0
+	const blockBytes = 16 << 20
+	conv7 := cost.Conventional(usable, 0.07, p)
+	conv28 := cost.Conventional(usable, 0.28, p)
+	znsNative := cost.ZNS(usable, blockBytes, 0, p)
+	znsHost := cost.ZNS(usable, blockBytes, 8, p)
+
+	row := func(d cost.Device, baseline cost.Device, isBaseline bool) {
+		saving := "-"
+		if !isBaseline {
+			saving = fmt.Sprintf("%.1f%%", cost.Savings(baseline, d)*100)
+		}
+		r.AddRow(d.Kind,
+			fmt.Sprintf("%.0f", d.RawFlashGB),
+			fmt.Sprintf("%.3f GB", d.OnboardDRAMGB),
+			fmt.Sprintf("%.1f GB", d.HostDRAMGB),
+			fmt.Sprintf("$%.2f", d.TotalUSD()),
+			fmt.Sprintf("$%.4f", d.USDPerUsableGB()),
+			saving)
+	}
+	row(conv7, conv7, true)
+	row(conv28, conv7, false)
+	row(znsNative, conv7, false)
+	row(znsHost, conv7, false)
+	r.AddNote("prices: flash $%.2f/GB, embedded DRAM $%.1f/GB, host DRAM $%.1f/GB (footnote 2: embedded >= 2x host)",
+		p.FlashUSDPerGB, p.EmbeddedDRAMUSDPerGB, p.HostDRAMUSDPerGB)
+	r.AddNote("zns host-FTL row carries 8 B/page of host mapping DRAM (dm-zoned-style block emulation)")
+	return r, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "E12",
+		Title:      "Flash model calibration (§2.1 primer)",
+		PaperClaim: "erase takes ~6x as long as program (TLC); parallelism across dies/planes provides throughput",
+		Run:        runE12,
+	})
+}
+
+// E12EraseProgramRatio reports the configured erase/program ratio per cell
+// type.
+func E12EraseProgramRatio(c flash.CellType) float64 {
+	lat := flash.LatenciesFor(c)
+	return float64(lat.EraseBlock) / float64(lat.ProgramPage)
+}
+
+// E12SequentialThroughput measures pages/s of a sequential fill on a
+// device with the given LUN count — the die-parallel scaling check.
+func E12SequentialThroughput(luns int) (float64, error) {
+	geom := flash.Geometry{Channels: luns, DiesPerChan: 1, PlanesPerDie: 1,
+		BlocksPerLUN: 8, PagesPerBlock: 128, PageSize: 4096}
+	// Stream sequentially in block-interleaved order (consecutive blocks
+	// alternate LUNs), issuing each page at time 0 and letting the
+	// resource model pipeline them.
+	dev := flash.New(geom, flash.LatenciesFor(flash.TLC))
+	var last sim.Time
+	pages := 0
+	for i := 0; i < geom.TotalBlocks()*geom.PagesPerBlock/4; i++ {
+		block := i % geom.TotalBlocks()
+		page := i / geom.TotalBlocks()
+		done, err := dev.ProgramPage(0, block, page)
+		if err != nil {
+			return 0, err
+		}
+		if done > last {
+			last = done
+		}
+		pages++
+	}
+	return float64(pages) / last.Seconds(), nil
+}
+
+func runE12(cfg Config) (Report, error) {
+	r := Report{
+		ID:         "E12",
+		Title:      "Flash-layer microbenchmarks",
+		PaperClaim: "TLC erase/program ~6x; denser cells are slower; throughput scales with LUNs",
+		Header:     []string{"Metric", "Value"},
+	}
+	for _, c := range []flash.CellType{flash.SLC, flash.MLC, flash.TLC, flash.QLC, flash.PLC} {
+		lat := flash.LatenciesFor(c)
+		r.AddRow(fmt.Sprintf("%v read/program/erase", c),
+			fmt.Sprintf("%v / %v / %v us (erase/program %.1fx)",
+				lat.ReadPage.Micros(), lat.ProgramPage.Micros(), lat.EraseBlock.Micros(),
+				E12EraseProgramRatio(c)))
+	}
+	for _, luns := range []int{1, 2, 4, 8, 16, 32} {
+		tput, err := E12SequentialThroughput(luns)
+		if err != nil {
+			return r, err
+		}
+		r.AddRow(fmt.Sprintf("sequential program, %d LUNs", luns),
+			fmt.Sprintf("%.0f pages/s", tput))
+	}
+	return r, nil
+}

@@ -1,0 +1,143 @@
+// Package core is the experiment harness: it defines one runnable
+// experiment per table, figure, or quantitative claim in the paper (E1-E12,
+// plus ablations), drives the device models under the workloads those
+// claims describe, and renders paper-style report tables.
+//
+// Every experiment is deterministic: rerunning with the same Config
+// reproduces the same report bit-for-bit.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Quick shrinks sweeps and run lengths for tests and smoke runs;
+	// full runs are used by cmd/znsbench and the benchmarks.
+	Quick bool
+	// Seed drives all workload randomness.
+	Seed int64
+}
+
+// DefaultConfig is the standard full-size run.
+func DefaultConfig() Config { return Config{Seed: 42} }
+
+// Report is one experiment's rendered result.
+type Report struct {
+	ID         string
+	Title      string
+	PaperClaim string // what the paper says we should see
+	Header     []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a free-form note line.
+func (r *Report) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the report as an aligned text table.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	line(dashes(widths))
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Experiment is one reproducible table/figure/claim from the paper.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Run        func(cfg Config) (Report, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment in numeric ID order (E1..E12,
+// then ablations).
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
+	return out
+}
+
+// idKey pads the numeric suffix so E2 sorts before E10, and ranks the
+// paper experiments (E*) ahead of the ablations (A*).
+func idKey(id string) string {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	rank := "1"
+	if len(id) > 0 && (id[0] == 'E' || id[0] == 'e') {
+		rank = "0"
+	}
+	return fmt.Sprintf("%s%s%06s", rank, id[:i], id[i:])
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

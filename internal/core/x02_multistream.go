@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"blockhead/internal/cost"
+	"blockhead/internal/flash"
+	"blockhead/internal/ftl"
+	"blockhead/internal/hostftl"
+	"blockhead/internal/sim"
+	"blockhead/internal/workload"
+	"blockhead/internal/zns"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "X2",
+		Title:      "Extension: multi-stream writes vs ZNS (§2.3)",
+		PaperClaim: "\"multi-streams are a workaround to hosts' limited control over data placement in conventional SSDs; the high hardware costs of conventional devices remain\"",
+		Run:        runX2,
+	})
+}
+
+const x2Groups = 8
+
+func x2Geometry() flash.Geometry {
+	return flash.Geometry{Channels: 2, DiesPerChan: 1, PlanesPerDie: 1,
+		BlocksPerLUN: 112, PagesPerBlock: 64, PageSize: 4096}
+}
+
+// x2Key draws an LBA from one of x2Groups equal-size regions whose update
+// rates fall off geometrically — eight distinct data lifetimes sharing one
+// device.
+func x2Key(src *workload.Source, capacity int64) (lpn int64, group int) {
+	// Group g has weight 2^-(g) (normalized): group 0 is hottest.
+	r := src.Float64() * (2 - 2/float64(int64(1)<<x2Groups))
+	w := 1.0
+	for g := 0; g < x2Groups; g++ {
+		if r < w || g == x2Groups-1 {
+			region := capacity / x2Groups
+			return int64(g)*region + src.Int63n(region), g
+		}
+		r -= w
+		w /= 2
+	}
+	panic("unreachable")
+}
+
+// x2Churn drives fill + churn through write, returning steady-state WA.
+func x2Churn(capacity int64, seed int64, quick bool,
+	write func(at sim.Time, lpn int64, group int) (sim.Time, error),
+	counters func() (host, programs uint64)) (float64, error) {
+	src := workload.NewSource(seed)
+	var at sim.Time
+	var err error
+	for lpn := int64(0); lpn < capacity; lpn++ {
+		if at, err = write(at, lpn, int(lpn*x2Groups/capacity)); err != nil {
+			return 0, err
+		}
+	}
+	churn := capacity * 2
+	if quick {
+		churn = capacity
+	}
+	h0, p0 := counters()
+	for i := int64(0); i < churn; i++ {
+		lpn, g := x2Key(src, capacity)
+		if at, err = write(at, lpn, g); err != nil {
+			return 0, err
+		}
+	}
+	h1, p1 := counters()
+	return float64(p1-p0) / float64(h1-h0), nil
+}
+
+func runX2(cfg Config) (Report, error) {
+	r := Report{
+		ID:         "X2",
+		Title:      "Multi-stream conventional vs ZNS under mixed lifetimes",
+		PaperClaim: "streams recover most of the placement benefit, but the device still pays page-map DRAM and GC overprovisioning",
+		Header:     []string{"Configuration", "WriteAmp", "On-board DRAM (1 TB scale)", "GC overprovisioning"},
+	}
+	lat := flash.LatenciesFor(flash.TLC)
+	const tb = int64(1) << 40
+	convDRAM := fmt.Sprintf("%.0f MiB", float64(cost.ConvMappingBytes(tb, 4096))/(1<<20))
+	znsDRAM := fmt.Sprintf("%.0f KiB", float64(cost.ZNSMappingBytes(tb, 16<<20))/(1<<10))
+
+	// Conventional, 1 stream and 8 streams.
+	for _, streams := range []int{1, x2Groups} {
+		dev, err := ftl.New(ftl.Config{Geom: x2Geometry(), Lat: lat,
+			OPFraction: 0.07, Streams: streams,
+			HotColdSeparation: true, TrimSupported: true})
+		if err != nil {
+			return r, err
+		}
+		wa, err := x2Churn(dev.CapacityPages(), cfg.Seed, cfg.Quick,
+			func(at sim.Time, lpn int64, group int) (sim.Time, error) {
+				return dev.WritePageStream(at, lpn, group%streams, nil)
+			},
+			func() (uint64, uint64) {
+				c := dev.Counters()
+				return c.HostWritePages, c.FlashProgramPages
+			})
+		if err != nil {
+			return r, err
+		}
+		name := "conventional, no streams"
+		if streams > 1 {
+			name = fmt.Sprintf("conventional, %d streams", streams)
+		}
+		r.AddRow(name, fmt.Sprintf("%.2f", wa), convDRAM, "7-28% flash")
+	}
+
+	// ZNS with a host FTL using the same 8 lifetime streams.
+	dev, err := zns.New(zns.Config{Geom: x2Geometry(), Lat: lat, ZoneBlocks: 1})
+	if err != nil {
+		return r, err
+	}
+	f, err := hostftl.New(dev, hostftl.Config{
+		OPFraction: 0.22, Streams: x2Groups, ZonesPerStream: 1,
+		UseSimpleCopy: true, GCMode: hostftl.GCIncremental,
+	})
+	if err != nil {
+		return r, err
+	}
+	wa, err := x2Churn(f.CapacityPages(), cfg.Seed, cfg.Quick,
+		func(at sim.Time, lpn int64, group int) (sim.Time, error) {
+			return f.WriteStream(at, lpn, group, nil)
+		},
+		func() (uint64, uint64) {
+			return f.HostWrites(), f.Counters().FlashProgramPages
+		})
+	if err != nil {
+		return r, err
+	}
+	r.AddRow(fmt.Sprintf("zns host FTL, %d streams", x2Groups),
+		fmt.Sprintf("%.2f", wa), znsDRAM, "none (host-chosen)")
+	r.AddNote("8 LBA regions with geometrically decaying update rates (8 data lifetimes)")
+	r.AddNote("streams close most of the WA gap on conventional hardware — but the")
+	r.AddNote("page-map DRAM and fixed overprovisioning remain, which is §2.3's point")
+	return r, nil
+}

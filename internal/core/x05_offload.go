@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/hostftl"
+	"blockhead/internal/offload"
+	"blockhead/internal/sim"
+	"blockhead/internal/workload"
+	"blockhead/internal/zns"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "X5",
+		Title:      "Extension: host CPUs vs dedicated offload hardware for the ZNS stack (§4.2)",
+		PaperClaim: "\"hyperscalers are embracing ZNS, which shifts responsibilities to the host... [while] offloading I/O processing from host CPUs to dedicated hardware. This apparent contradiction calls for academic scrutiny.\"",
+		Run:        runX5,
+	})
+}
+
+// X5MeasureWork runs the host translation layer under steady random churn
+// with paced maintenance and returns its measured per-request CPU work.
+func X5MeasureWork(cfg Config) (offload.Work, error) {
+	dev, err := zns.New(zns.Config{
+		Geom: flash.Geometry{Channels: 4, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerLUN: 64, PagesPerBlock: 64, PageSize: 4096},
+		Lat:        flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 1,
+	})
+	if err != nil {
+		return offload.Work{}, err
+	}
+	f, err := hostftl.New(dev, hostftl.Config{
+		OPFraction: 0.15, ZonesPerStream: 4,
+		UseSimpleCopy: true, GCMode: hostftl.GCIncremental,
+	})
+	if err != nil {
+		return offload.Work{}, err
+	}
+	var at sim.Time
+	for lpn := int64(0); lpn < f.CapacityPages(); lpn++ {
+		if at, err = f.Write(at, lpn, nil); err != nil {
+			return offload.Work{}, err
+		}
+	}
+	churn := 3 * f.CapacityPages()
+	if cfg.Quick {
+		churn = f.CapacityPages()
+	}
+	keys := workload.NewUniform(workload.NewSource(cfg.Seed), f.CapacityPages())
+	m0, r0, t0 := f.WorkStats()
+	w0 := f.HostWrites()
+	for i := int64(0); i < churn; i++ {
+		if at, err = f.Write(at, keys.Next(), nil); err != nil {
+			return offload.Work{}, err
+		}
+		if i%4 == 0 { // paced maintenance, as in E6
+			f.MaintenanceStep(at, 2, 12)
+		}
+	}
+	m1, r1, t1 := f.WorkStats()
+	reqs := float64(f.HostWrites() - w0)
+	return offload.Work{
+		MapOps:     float64(m1-m0) / reqs,
+		RelocPages: float64(r1-r0) / reqs,
+		MaintTicks: float64(t1-t0) / reqs,
+	}, nil
+}
+
+func runX5(cfg Config) (Report, error) {
+	r := Report{
+		ID:         "X5",
+		Title:      "Pricing the host-resident ZNS stack against a dedicated SoC",
+		PaperClaim: "decide per deployment: below a throughput threshold, host cores are cheaper; above it, the offload card wins",
+		Header:     []string{"Request rate", "Host cores", "Host $", "SoC cores", "SoC $", "Cheaper"},
+	}
+	w, err := X5MeasureWork(cfg)
+	if err != nil {
+		return r, err
+	}
+	m := offload.DefaultCostModel()
+	if err := m.Validate(); err != nil {
+		return r, err
+	}
+	for _, rate := range []float64{50e3, 200e3, 500e3, 1e6, 2e6} {
+		host := m.HostUSD(w, rate)
+		soc := m.SoCUSD(w, rate)
+		cheaper := "host"
+		if soc < host {
+			cheaper = "SoC"
+		}
+		r.AddRow(fmt.Sprintf("%.0fk req/s", rate/1e3),
+			fmt.Sprintf("%.3f", m.HostCores(w, rate)),
+			fmt.Sprintf("$%.2f", host),
+			fmt.Sprintf("%.3f", m.SoCCores(w, rate)),
+			fmt.Sprintf("$%.2f", soc),
+			cheaper)
+	}
+	r.AddNote("measured host work per 4K request: %.2f map ops, %.3f relocation pages, %.3f maintenance ticks",
+		w.MapOps, w.RelocPages, w.MaintTicks)
+	if be := m.BreakEvenReqPerSec(w); be > 0 {
+		r.AddNote("break-even: offload pays for itself above %.0fk req/s per device", be/1e3)
+	}
+	r.AddNote("Accelerometer-style model (cycles and prices in internal/offload); the work")
+	r.AddNote("counts are measured from the simulated translation layer, not assumed")
+	return r, nil
+}

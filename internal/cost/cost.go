@@ -1,0 +1,147 @@
+// Package cost reproduces the paper's §2.2/§2.3 resource arithmetic: the
+// on-board DRAM needed for address translation, the flash capacity consumed
+// by overprovisioning, and the resulting per-device cost comparison —
+// "ZNS costs less per gigabyte".
+//
+// The headline numbers it regenerates (E3, E11):
+//
+//   - A conventional SSD needs ~4 bytes of mapping DRAM per 4 KB page:
+//     ~1 GB of DRAM per TB of flash.
+//   - A ZNS SSD maps zones to erasure blocks: with 16 MB blocks, ~256 KB
+//     per TB — a ~4000x reduction.
+//   - Overprovisioning (7-28% of usable capacity) is pure flash cost the
+//     host cannot use; ZNS devices expose nearly all of it.
+//   - Footnote 2: small embedded DRAM chips cost >= 2x as much per GB as
+//     large host DIMMs, so moving translation to the host is cheaper even
+//     before the capacity win.
+package cost
+
+import "fmt"
+
+// Bytes per mapping entry, per the paper's §2.2 ("about 4 bytes per page",
+// "assuming a similar 4-byte overhead per block").
+const BytesPerMapEntry = 4
+
+// ConvMappingBytes reports the conventional FTL's mapping-table DRAM for a
+// device of the given capacity and page size.
+func ConvMappingBytes(capacityBytes int64, pageSize int64) int64 {
+	if pageSize <= 0 {
+		return 0
+	}
+	return capacityBytes / pageSize * BytesPerMapEntry
+}
+
+// ZNSMappingBytes reports the ZNS FTL's mapping DRAM: one entry per erasure
+// block.
+func ZNSMappingBytes(capacityBytes int64, blockBytes int64) int64 {
+	if blockBytes <= 0 {
+		return 0
+	}
+	return capacityBytes / blockBytes * BytesPerMapEntry
+}
+
+// Params are the unit prices of the cost model. Defaults reflect the
+// paper's stated relationships rather than any particular quarter's spot
+// prices; every experiment reports ratios alongside absolute dollars.
+type Params struct {
+	// FlashUSDPerGB is the cost of raw NAND capacity.
+	FlashUSDPerGB float64
+	// EmbeddedDRAMUSDPerGB is the cost of small on-board DRAM chips.
+	EmbeddedDRAMUSDPerGB float64
+	// HostDRAMUSDPerGB is the cost of large host DIMMs. Footnote 2: a small
+	// DIMM costs "more than twice as much per GB" as 16-32 GB DIMMs, so
+	// EmbeddedDRAMUSDPerGB >= 2 * HostDRAMUSDPerGB.
+	HostDRAMUSDPerGB float64
+}
+
+// DefaultParams returns the calibration prices (2021-era enterprise TLC).
+func DefaultParams() Params {
+	return Params{
+		FlashUSDPerGB:        0.08,
+		EmbeddedDRAMUSDPerGB: 9.0,
+		HostDRAMUSDPerGB:     4.0,
+	}
+}
+
+// Validate checks the footnote-2 relationship.
+func (p Params) Validate() error {
+	if p.FlashUSDPerGB <= 0 || p.EmbeddedDRAMUSDPerGB <= 0 || p.HostDRAMUSDPerGB <= 0 {
+		return fmt.Errorf("cost: non-positive price in %+v", p)
+	}
+	if p.EmbeddedDRAMUSDPerGB < 2*p.HostDRAMUSDPerGB {
+		return fmt.Errorf("cost: embedded DRAM (%.2f) must be >= 2x host DRAM (%.2f) per footnote 2",
+			p.EmbeddedDRAMUSDPerGB, p.HostDRAMUSDPerGB)
+	}
+	return nil
+}
+
+// Device summarizes one configuration's bill of materials.
+type Device struct {
+	Kind           string
+	UsableGB       float64
+	RawFlashGB     float64 // usable + overprovisioning
+	OnboardDRAMGB  float64
+	HostDRAMGB     float64 // host-side mapping memory (ZNS with host FTL)
+	FlashUSD       float64
+	OnboardDRAMUSD float64
+	HostDRAMUSD    float64
+}
+
+// TotalUSD reports the configuration's full cost including host resources.
+func (d Device) TotalUSD() float64 { return d.FlashUSD + d.OnboardDRAMUSD + d.HostDRAMUSD }
+
+// USDPerUsableGB reports the paper's comparison metric.
+func (d Device) USDPerUsableGB() float64 {
+	if d.UsableGB == 0 {
+		return 0
+	}
+	return d.TotalUSD() / d.UsableGB
+}
+
+const (
+	gb       = float64(1 << 30)
+	pageSize = 4096
+)
+
+// Conventional prices a conventional SSD with the given usable capacity and
+// overprovisioning fraction (of usable capacity, per §2.2).
+func Conventional(usableGB float64, opFraction float64, p Params) Device {
+	raw := usableGB * (1 + opFraction)
+	mapBytes := ConvMappingBytes(int64(usableGB*gb), pageSize)
+	dramGB := float64(mapBytes) / gb
+	return Device{
+		Kind:           fmt.Sprintf("conventional (OP %.0f%%)", opFraction*100),
+		UsableGB:       usableGB,
+		RawFlashGB:     raw,
+		OnboardDRAMGB:  dramGB,
+		FlashUSD:       raw * p.FlashUSDPerGB,
+		OnboardDRAMUSD: dramGB * p.EmbeddedDRAMUSDPerGB,
+	}
+}
+
+// ZNS prices a ZNS SSD with the given usable capacity and erasure-block
+// size. hostMappingBytesPerPage adds host DRAM for a host-side translation
+// layer (0 for applications using zones natively).
+func ZNS(usableGB float64, blockBytes int64, hostMappingBytesPerPage float64, p Params) Device {
+	mapBytes := ZNSMappingBytes(int64(usableGB*gb), blockBytes)
+	onboardGB := float64(mapBytes) / gb
+	hostGB := usableGB * gb / pageSize * hostMappingBytesPerPage / gb
+	return Device{
+		Kind:           "zns",
+		UsableGB:       usableGB,
+		RawFlashGB:     usableGB, // no GC overprovisioning (§2.2)
+		OnboardDRAMGB:  onboardGB,
+		HostDRAMGB:     hostGB,
+		FlashUSD:       usableGB * p.FlashUSDPerGB,
+		OnboardDRAMUSD: onboardGB * p.EmbeddedDRAMUSDPerGB,
+		HostDRAMUSD:    hostGB * p.HostDRAMUSDPerGB,
+	}
+}
+
+// Savings reports the fractional $/GB saving of b relative to a.
+func Savings(a, b Device) float64 {
+	if a.USDPerUsableGB() == 0 {
+		return 0
+	}
+	return 1 - b.USDPerUsableGB()/a.USDPerUsableGB()
+}

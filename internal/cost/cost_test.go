@@ -1,0 +1,121 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+const tb = int64(1) << 40
+
+// §2.2: "around 1 GB of on-board DRAM per TB of flash".
+func TestConvMappingOneGBPerTB(t *testing.T) {
+	got := ConvMappingBytes(tb, 4096)
+	if got != 1<<30 {
+		t.Errorf("conventional mapping for 1 TB = %d bytes, want 1 GiB", got)
+	}
+	if ConvMappingBytes(tb, 0) != 0 {
+		t.Error("zero page size must yield 0")
+	}
+}
+
+// §2.2: "assuming a similar 4-byte overhead per block and 16 MB erasure
+// blocks, it requires only ~256 KB".
+func TestZNSMapping256KBPerTB(t *testing.T) {
+	got := ZNSMappingBytes(tb, 16<<20)
+	if got != 256<<10 {
+		t.Errorf("ZNS mapping for 1 TB = %d bytes, want 256 KiB", got)
+	}
+	if ZNSMappingBytes(tb, 0) != 0 {
+		t.Error("zero block size must yield 0")
+	}
+}
+
+func TestMappingRatio(t *testing.T) {
+	conv := ConvMappingBytes(tb, 4096)
+	zns := ZNSMappingBytes(tb, 16<<20)
+	if conv/zns != 4096 {
+		t.Errorf("mapping ratio = %d, want 4096x", conv/zns)
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.EmbeddedDRAMUSDPerGB = bad.HostDRAMUSDPerGB // violates footnote 2
+	if err := bad.Validate(); err == nil {
+		t.Error("footnote-2 violation accepted")
+	}
+	bad = DefaultParams()
+	bad.FlashUSDPerGB = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero price accepted")
+	}
+}
+
+func TestConventionalBOM(t *testing.T) {
+	p := DefaultParams()
+	d := Conventional(1024, 0.28, p)
+	if math.Abs(d.RawFlashGB-1024*1.28) > 1e-9 {
+		t.Errorf("raw flash = %v", d.RawFlashGB)
+	}
+	if math.Abs(d.OnboardDRAMGB-1.0) > 1e-9 {
+		t.Errorf("onboard DRAM = %v GB, want 1", d.OnboardDRAMGB)
+	}
+	if d.TotalUSD() <= 0 || d.USDPerUsableGB() <= 0 {
+		t.Error("costs must be positive")
+	}
+}
+
+func TestZNSBOM(t *testing.T) {
+	p := DefaultParams()
+	d := ZNS(1024, 16<<20, 0, p)
+	if d.RawFlashGB != 1024 {
+		t.Errorf("zns raw flash = %v, want no OP", d.RawFlashGB)
+	}
+	if math.Abs(d.OnboardDRAMGB-256.0/(1<<20)) > 1e-12 {
+		t.Errorf("zns onboard DRAM = %v GB, want 256 KiB", d.OnboardDRAMGB)
+	}
+	if d.HostDRAMGB != 0 || d.HostDRAMUSD != 0 {
+		t.Error("native zns must need no host mapping DRAM")
+	}
+	// With a host FTL at 8 B/page, host DRAM = 2 GB for 1 TB.
+	h := ZNS(1024, 16<<20, 8, p)
+	if math.Abs(h.HostDRAMGB-2.0) > 1e-9 {
+		t.Errorf("host DRAM = %v GB, want 2", h.HostDRAMGB)
+	}
+}
+
+// The paper's claim: ZNS dominates on cost. Even a ZNS deployment that
+// rebuilds the block interface on the host (paying for host DRAM at host
+// prices) undercuts the conventional device.
+func TestZNSCheaperPerGB(t *testing.T) {
+	p := DefaultParams()
+	for _, op := range []float64{0.07, 0.28} {
+		conv := Conventional(1024, op, p)
+		znsNative := ZNS(1024, 16<<20, 0, p)
+		znsHostFTL := ZNS(1024, 16<<20, 8, p)
+		if Savings(conv, znsNative) <= 0 {
+			t.Errorf("OP %.2f: native ZNS not cheaper (conv %.4f vs zns %.4f $/GB)",
+				op, conv.USDPerUsableGB(), znsNative.USDPerUsableGB())
+		}
+		if Savings(conv, znsHostFTL) <= 0 {
+			t.Errorf("OP %.2f: host-FTL ZNS not cheaper (conv %.4f vs zns %.4f $/GB)",
+				op, conv.USDPerUsableGB(), znsHostFTL.USDPerUsableGB())
+		}
+		// Savings grow with OP.
+		if op == 0.28 && Savings(conv, znsNative) < Savings(Conventional(1024, 0.07, p), znsNative) {
+			t.Error("savings must grow with overprovisioning")
+		}
+	}
+}
+
+func TestSavingsDegenerate(t *testing.T) {
+	if Savings(Device{}, Device{}) != 0 {
+		t.Error("Savings on empty devices must be 0")
+	}
+	if (Device{}).USDPerUsableGB() != 0 {
+		t.Error("USDPerUsableGB on empty device must be 0")
+	}
+}

@@ -1,0 +1,51 @@
+package flash
+
+import (
+	"testing"
+
+	"blockhead/internal/sim"
+)
+
+func benchDev() *Device {
+	return New(DefaultGeometry(64), LatenciesFor(TLC))
+}
+
+func BenchmarkProgramPage(b *testing.B) {
+	d := benchDev()
+	blocks := d.Geom.TotalBlocks()
+	pages := d.Geom.PagesPerBlock
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block := i % blocks
+		page := (i / blocks) % pages
+		if page == 0 && i >= blocks*pages {
+			d.EraseBlock(0, block)
+		}
+		if _, err := d.ProgramPage(0, block, page); err != nil {
+			// Wrapped around a full device: erase and continue.
+			d.EraseBlock(0, block)
+			d.ProgramPage(0, block, 0)
+		}
+	}
+}
+
+func BenchmarkReadPage(b *testing.B) {
+	d := benchDev()
+	d.ProgramPage(0, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ReadPage(sim.Time(i), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEraseBlock(b *testing.B) {
+	d := benchDev()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.EraseBlock(sim.Time(i), i%d.Geom.TotalBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

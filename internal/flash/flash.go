@@ -1,0 +1,355 @@
+// Package flash models NAND flash at the level the paper's §2.1 primer
+// describes: pages grouped into erasure blocks, blocks grouped into planes,
+// planes into dies, dies into channels. Reads happen at page granularity,
+// pages within a block must be programmed sequentially, and a block must be
+// erased before its pages can be programmed again. Erase takes several times
+// longer than program (~6x for TLC, per the paper).
+//
+// Both device models in this repository — the conventional page-mapped FTL
+// (internal/ftl) and the ZNS device (internal/zns) — are built on this one
+// package, so comparisons between them isolate the interface, which is the
+// paper's argument.
+//
+// Timing: each plane is an independent execution unit (LUN) with busy-until
+// semantics; each channel is a shared bus that serializes page transfers.
+// The model is the standard first-order contention model used by SSD
+// simulators (FEMU, MQSim): completion time = queueing + cell time + bus
+// time.
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"blockhead/internal/sim"
+)
+
+// CellType is the number of bits stored per NAND cell (§2.1).
+type CellType int
+
+const (
+	SLC CellType = 1 // 1 bit/cell
+	MLC CellType = 2
+	TLC CellType = 3
+	QLC CellType = 4
+	PLC CellType = 5
+)
+
+// String implements fmt.Stringer.
+func (c CellType) String() string {
+	switch c {
+	case SLC:
+		return "SLC"
+	case MLC:
+		return "MLC"
+	case TLC:
+		return "TLC"
+	case QLC:
+		return "QLC"
+	case PLC:
+		return "PLC"
+	default:
+		return fmt.Sprintf("CellType(%d)", int(c))
+	}
+}
+
+// Latencies holds the per-operation timing of a flash part.
+type Latencies struct {
+	ReadPage    sim.Time // cell sense time for one page
+	ProgramPage sim.Time // cell program time for one page
+	EraseBlock  sim.Time // erase time for one erasure block
+	XferPage    sim.Time // channel bus time to move one page to/from the host
+}
+
+// LatenciesFor returns representative latencies for a cell type. The TLC
+// profile is the repository default and satisfies the paper's §2.1 claim
+// that erase takes ~6x as long as program.
+func LatenciesFor(c CellType) Latencies {
+	switch c {
+	case SLC:
+		return Latencies{ReadPage: 25 * sim.Microsecond, ProgramPage: 200 * sim.Microsecond,
+			EraseBlock: 1500 * sim.Microsecond, XferPage: 3300 * sim.Nanosecond}
+	case MLC:
+		return Latencies{ReadPage: 50 * sim.Microsecond, ProgramPage: 600 * sim.Microsecond,
+			EraseBlock: 3600 * sim.Microsecond, XferPage: 3300 * sim.Nanosecond}
+	case QLC:
+		return Latencies{ReadPage: 100 * sim.Microsecond, ProgramPage: 2200 * sim.Microsecond,
+			EraseBlock: 11 * sim.Millisecond, XferPage: 3300 * sim.Nanosecond}
+	case PLC:
+		return Latencies{ReadPage: 150 * sim.Microsecond, ProgramPage: 3500 * sim.Microsecond,
+			EraseBlock: 18 * sim.Millisecond, XferPage: 3300 * sim.Nanosecond}
+	default: // TLC
+		return Latencies{ReadPage: 60 * sim.Microsecond, ProgramPage: 700 * sim.Microsecond,
+			EraseBlock: 4200 * sim.Microsecond, XferPage: 3300 * sim.Nanosecond}
+	}
+}
+
+// Geometry describes the physical organization of a device.
+//
+// Block indices are interleaved across LUNs: consecutive block numbers live
+// on consecutive LUNs, so a device layer that fills blocks round-robin gets
+// die parallelism for free.
+type Geometry struct {
+	Channels      int // independent buses
+	DiesPerChan   int // dies per channel
+	PlanesPerDie  int // planes per die; each plane is an execution unit (LUN)
+	BlocksPerLUN  int // erasure blocks per plane
+	PagesPerBlock int // pages per erasure block
+	PageSize      int // bytes per page (typically 4096, §2.1)
+}
+
+// DefaultGeometry is the repository's calibration geometry: 8 channels x 4
+// dies x 1 plane, 4 KiB pages, 4096 pages/block = 16 MiB erasure blocks
+// (matching the paper's §2.2 DRAM estimate), 8 GiB per LUN slice scaled by
+// BlocksPerLUN.
+func DefaultGeometry(blocksPerLUN int) Geometry {
+	return Geometry{
+		Channels:      8,
+		DiesPerChan:   4,
+		PlanesPerDie:  1,
+		BlocksPerLUN:  blocksPerLUN,
+		PagesPerBlock: 4096,
+		PageSize:      4096,
+	}
+}
+
+// Validate reports an error if any field is non-positive.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.DiesPerChan <= 0 || g.PlanesPerDie <= 0 ||
+		g.BlocksPerLUN <= 0 || g.PagesPerBlock <= 0 || g.PageSize <= 0 {
+		return fmt.Errorf("flash: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// LUNs reports the number of independent execution units.
+func (g Geometry) LUNs() int { return g.Channels * g.DiesPerChan * g.PlanesPerDie }
+
+// TotalBlocks reports the number of erasure blocks on the device.
+func (g Geometry) TotalBlocks() int { return g.LUNs() * g.BlocksPerLUN }
+
+// TotalPages reports the number of pages on the device.
+func (g Geometry) TotalPages() int64 {
+	return int64(g.TotalBlocks()) * int64(g.PagesPerBlock)
+}
+
+// BlockBytes reports the size of one erasure block in bytes.
+func (g Geometry) BlockBytes() int64 { return int64(g.PagesPerBlock) * int64(g.PageSize) }
+
+// CapacityBytes reports the raw flash capacity in bytes.
+func (g Geometry) CapacityBytes() int64 { return int64(g.TotalBlocks()) * g.BlockBytes() }
+
+// LUNOfBlock maps a block index to its LUN.
+func (g Geometry) LUNOfBlock(block int) int { return block % g.LUNs() }
+
+// ChannelOfLUN maps a LUN index to its channel.
+func (g Geometry) ChannelOfLUN(lun int) int {
+	return lun / (g.DiesPerChan * g.PlanesPerDie)
+}
+
+// ChannelOfBlock maps a block index to its channel.
+func (g Geometry) ChannelOfBlock(block int) int {
+	return g.ChannelOfLUN(g.LUNOfBlock(block))
+}
+
+// Errors returned by Device operations. Device layers above flash are
+// expected to treat all of them as programming errors except ErrWornOut,
+// which models end-of-endurance cell failure (§2.1) and must be handled by
+// retiring the block (conventional) or shrinking/offlining the zone (ZNS).
+var (
+	ErrOutOfRange    = errors.New("flash: address out of range")
+	ErrNotSequential = errors.New("flash: pages within an erasure block must be programmed sequentially")
+	ErrNotErased     = errors.New("flash: block is full; erase before programming")
+	ErrUnwritten     = errors.New("flash: read of unwritten page")
+	ErrWornOut       = errors.New("flash: block exceeded erase endurance")
+	ErrBadBlock      = errors.New("flash: block is marked bad")
+)
+
+// OpCounts tracks physical operations executed by the device.
+type OpCounts struct {
+	Reads    uint64
+	Programs uint64
+	Erases   uint64
+}
+
+type blockState struct {
+	nextPage   int32 // next programmable page; == PagesPerBlock when full
+	eraseCount uint32
+	bad        bool
+}
+
+// Device is a timed NAND flash array.
+type Device struct {
+	Geom Geometry
+	Lat  Latencies
+
+	// Endurance is the per-block erase budget; 0 means unlimited. When a
+	// block's erase count reaches Endurance, the erase fails with ErrWornOut
+	// and the block is marked bad.
+	Endurance uint32
+
+	luns   []sim.Resource
+	chans  []sim.Resource
+	blocks []blockState
+	counts OpCounts
+}
+
+// New returns a fresh, fully erased device. It panics on invalid geometry;
+// geometry is always program-supplied, never user input.
+func New(geom Geometry, lat Latencies) *Device {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{
+		Geom:   geom,
+		Lat:    lat,
+		luns:   make([]sim.Resource, geom.LUNs()),
+		chans:  make([]sim.Resource, geom.Channels),
+		blocks: make([]blockState, geom.TotalBlocks()),
+	}
+}
+
+// Counts returns a copy of the physical operation counters.
+func (d *Device) Counts() OpCounts { return d.counts }
+
+// EraseCount reports how many times a block has been erased.
+func (d *Device) EraseCount(block int) uint32 { return d.blocks[block].eraseCount }
+
+// IsBad reports whether a block has been retired.
+func (d *Device) IsBad(block int) bool { return d.blocks[block].bad }
+
+// WrittenPages reports how many pages of the block are programmed.
+func (d *Device) WrittenPages(block int) int { return int(d.blocks[block].nextPage) }
+
+func (d *Device) checkAddr(block, page int) error {
+	if block < 0 || block >= len(d.blocks) || page < 0 || page >= d.Geom.PagesPerBlock {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// ReadPage reads one page. The LUN senses the cells, then the channel bus
+// transfers the page out. Reading a page that was never programmed since
+// the last erase returns ErrUnwritten.
+func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
+	if err := d.checkAddr(block, page); err != nil {
+		return at, err
+	}
+	b := &d.blocks[block]
+	if b.bad {
+		return at, ErrBadBlock
+	}
+	if int32(page) >= b.nextPage {
+		return at, ErrUnwritten
+	}
+	lun := d.Geom.LUNOfBlock(block)
+	_, senseEnd := d.luns[lun].Acquire(at, d.Lat.ReadPage)
+	_, done := d.chans[d.Geom.ChannelOfLUN(lun)].Acquire(senseEnd, d.Lat.XferPage)
+	d.counts.Reads++
+	return done, nil
+}
+
+// ProgramPage programs one page. Pages within a block must be programmed in
+// order (§2.1); out-of-order programming returns ErrNotSequential, and
+// programming a full block returns ErrNotErased. The channel transfers the
+// page in, then the LUN programs the cells.
+func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
+	if err := d.checkAddr(block, page); err != nil {
+		return at, err
+	}
+	b := &d.blocks[block]
+	if b.bad {
+		return at, ErrBadBlock
+	}
+	if b.nextPage >= int32(d.Geom.PagesPerBlock) {
+		return at, ErrNotErased
+	}
+	if int32(page) != b.nextPage {
+		return at, ErrNotSequential
+	}
+	lun := d.Geom.LUNOfBlock(block)
+	_, xferEnd := d.chans[d.Geom.ChannelOfLUN(lun)].Acquire(at, d.Lat.XferPage)
+	_, done := d.luns[lun].Acquire(xferEnd, d.Lat.ProgramPage)
+	b.nextPage++
+	d.counts.Programs++
+	return done, nil
+}
+
+// EraseBlock erases one block, making all its pages programmable again.
+// If the block's erase count reaches the endurance budget the block is
+// retired and ErrWornOut is returned.
+func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
+	if err := d.checkAddr(block, 0); err != nil {
+		return at, err
+	}
+	b := &d.blocks[block]
+	if b.bad {
+		return at, ErrBadBlock
+	}
+	if d.Endurance != 0 && b.eraseCount >= d.Endurance {
+		b.bad = true
+		return at, ErrWornOut
+	}
+	lun := d.Geom.LUNOfBlock(block)
+	_, done := d.luns[lun].Acquire(at, d.Lat.EraseBlock)
+	b.eraseCount++
+	b.nextPage = 0
+	d.counts.Erases++
+	return done, nil
+}
+
+// CopyPage performs a controller-internal copy of one page: a read on the
+// source LUN followed by a program on the destination LUN, moving data over
+// the channel bus but never over the host interface. This is the primitive
+// behind conventional-FTL garbage collection and the NVMe simple-copy
+// command (§2.3). The destination must be the block's next sequential page.
+func (d *Device) CopyPage(at sim.Time, srcBlock, srcPage, dstBlock, dstPage int) (sim.Time, error) {
+	readDone, err := d.ReadPage(at, srcBlock, srcPage)
+	if err != nil {
+		return at, err
+	}
+	return d.ProgramPage(readDone, dstBlock, dstPage)
+}
+
+// LUNFreeAt reports when the LUN owning block becomes idle; device layers
+// use it to schedule maintenance work (host-controlled GC, §4.1) around
+// foreground I/O.
+func (d *Device) LUNFreeAt(block int) sim.Time {
+	return d.luns[d.Geom.LUNOfBlock(block)].FreeAt()
+}
+
+// MaxEraseCount reports the highest per-block erase count — the wear-leveling
+// figure of merit.
+func (d *Device) MaxEraseCount() uint32 {
+	var m uint32
+	for i := range d.blocks {
+		if d.blocks[i].eraseCount > m {
+			m = d.blocks[i].eraseCount
+		}
+	}
+	return m
+}
+
+// TotalEraseSpread reports max-min erase counts across non-bad blocks.
+func (d *Device) TotalEraseSpread() uint32 {
+	if len(d.blocks) == 0 {
+		return 0
+	}
+	lo, hi := ^uint32(0), uint32(0)
+	for i := range d.blocks {
+		if d.blocks[i].bad {
+			continue
+		}
+		c := d.blocks[i].eraseCount
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if lo > hi {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,71 @@
+package ftl
+
+import (
+	"testing"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+	"blockhead/internal/workload"
+)
+
+func benchDev(b *testing.B, op float64) *Device {
+	b.Helper()
+	d, err := NewDefault(flash.Geometry{Channels: 4, DiesPerChan: 1, PlanesPerDie: 1,
+		BlocksPerLUN: 128, PagesPerBlock: 64, PageSize: 4096},
+		flash.LatenciesFor(flash.TLC), op)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkWritePageSequential measures the sequential write path with no
+// GC pressure.
+func BenchmarkWritePageSequential(b *testing.B) {
+	d := benchDev(b, 0.1)
+	var at sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		at, err = d.WritePage(at, int64(i)%d.CapacityPages(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWritePageSteadyStateGC measures random overwrites at GC steady
+// state — the per-op cost including amortized relocation.
+func BenchmarkWritePageSteadyStateGC(b *testing.B) {
+	d := benchDev(b, 0.1)
+	var at sim.Time
+	for lpn := int64(0); lpn < d.CapacityPages(); lpn++ {
+		at, _ = d.WritePage(at, lpn, nil)
+	}
+	keys := workload.NewUniform(workload.NewSource(1), d.CapacityPages())
+	for i := int64(0); i < d.CapacityPages(); i++ { // age
+		at, _ = d.WritePage(at, keys.Next(), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		at, err = d.WritePage(at, keys.Next(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.Counters().WriteAmp(), "WA")
+}
+
+func BenchmarkReadPageMapped(b *testing.B) {
+	d := benchDev(b, 0.1)
+	at, _ := d.WritePage(0, 7, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		at, _, err = d.ReadPage(at, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

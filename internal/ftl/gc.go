@@ -1,0 +1,340 @@
+package ftl
+
+import (
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+)
+
+// maybeGC runs garbage collection per the configured scheduling mode and
+// returns the time at which the triggering host write may proceed.
+//
+// GCForeground is the device-opaque behavior the paper blames for read
+// tail latency (§2.4): when the low-water mark trips, the triggering write
+// stalls behind whole-victim relocations and erases, and every copy
+// occupies LUNs that host I/O also needs.
+//
+// GCDeviceIncremental is the kindest plausible on-board controller: it
+// starts earlier and relocates a small chunk per host write, so stalls
+// shrink — but the device still cannot know data lifetimes, so its write
+// amplification (and the DRAM/OP hardware costs) are unchanged. Ablation
+// A5 quantifies exactly how much of the paper's tail argument survives
+// this generosity.
+func (d *Device) maybeGC(at sim.Time) sim.Time {
+	if d.cfg.GCMode == GCDeviceIncremental {
+		return d.incrementalGC(at)
+	}
+	if d.hostSlots() > d.thresholdSlots {
+		d.lastGCStall = 0
+		return at
+	}
+	start := at
+	for d.hostSlots() <= d.thresholdSlots {
+		victim := d.pickVictim(at)
+		if victim < 0 {
+			break
+		}
+		done, ok := d.relocateAndErase(at, victim)
+		if !ok {
+			break
+		}
+		at = sim.Max(at, done)
+	}
+	d.lastGCStall = at - start
+	return at
+}
+
+// incrementalGC relocates at most GCChunkPages valid pages (and at most one
+// erase) per call, starting when free slots fall below twice the low-water
+// mark. If the pool still drains to the mark itself, it falls back to one
+// blocking foreground pass.
+func (d *Device) incrementalGC(at sim.Time) sim.Time {
+	d.lastGCStall = 0
+	slots := d.hostSlots()
+	if slots > 2*d.thresholdSlots {
+		return at
+	}
+	if slots <= d.thresholdSlots/2 {
+		// Fell behind: one emergency foreground pass (stall visible).
+		// Finish the in-flight incremental victim first; it is excluded
+		// from victim selection, so its dead space is otherwise stranded.
+		start := at
+		if d.gcVictim >= 0 {
+			v := d.gcVictim
+			d.gcVictim = -1
+			if done, ok := d.relocateAndErase(at, v); ok {
+				at = sim.Max(at, done)
+			}
+		}
+		for d.hostSlots() <= d.thresholdSlots {
+			victim := d.pickVictim(at)
+			if victim < 0 {
+				break
+			}
+			done, ok := d.relocateAndErase(at, victim)
+			if !ok {
+				break
+			}
+			at = sim.Max(at, done)
+		}
+		d.lastGCStall = at - start
+		return at
+	}
+	budget := d.cfg.GCChunkPages
+	erased := false
+	for budget > 0 && !erased {
+		if d.gcVictim < 0 {
+			v := d.pickVictim(at)
+			if v < 0 {
+				return at
+			}
+			d.gcVictim, d.gcCursor = v, 0
+		}
+		moved, done := d.relocateChunk(at, d.gcVictim, budget)
+		_ = done // chunk work proceeds concurrently; the write is not gated
+		budget -= moved
+		if int(d.gcCursor) >= d.pages {
+			victim := d.gcVictim
+			d.gcVictim = -1
+			if eraseDone, err := d.chip.EraseBlock(at, victim); err == nil {
+				_ = eraseDone
+				d.counters.BlockErases++
+				d.valid[victim] = 0
+				d.freeSlots += int64(d.pages)
+				lun := d.geom.LUNOfBlock(victim)
+				d.freePerLUN[lun] = append(d.freePerLUN[lun], victim)
+				d.freeBit[victim] = true
+				d.freeCount++
+				d.gcRuns++
+			} else {
+				d.valid[victim] = 0
+			}
+			erased = true
+		}
+		if moved == 0 && !erased {
+			return at // no progress possible right now
+		}
+	}
+	return at
+}
+
+// relocateChunk copies up to budget valid pages of victim starting at the
+// incremental cursor, returning how many were copied.
+func (d *Device) relocateChunk(at sim.Time, victim, budget int) (moved int, done sim.Time) {
+	done = at
+	for moved < budget && int(d.gcCursor) < d.pages {
+		p := int(d.gcCursor)
+		d.gcCursor++
+		ppn := d.ppn(victim, p)
+		lpn := d.p2l[ppn]
+		if lpn == unmapped {
+			continue
+		}
+		dst, err := d.allocPage(0, true)
+		if err != nil {
+			d.gcCursor--
+			return moved, done
+		}
+		cDone, err := d.chip.CopyPage(at, victim, p, d.blockOf(dst), d.pageOf(dst))
+		if err != nil {
+			d.gcCursor--
+			return moved, done
+		}
+		done = sim.Max(done, cDone)
+		d.freeSlots--
+		d.p2l[ppn] = unmapped
+		d.l2p[lpn] = dst
+		d.p2l[dst] = lpn
+		d.valid[d.blockOf(dst)]++
+		d.valid[victim]--
+		d.counters.FlashReadPages++
+		d.counters.FlashProgramPages++
+		d.counters.GCCopyPages++
+		moved++
+	}
+	return moved, done
+}
+
+// forceGC reclaims until the free pool can serve a host block allocation
+// (or no victim remains). It backs the allocation-retry path: with many
+// write streams, one stream's frontiers can be empty while the aggregate
+// hostSlots figure still looks healthy, so the regular trigger never fired.
+func (d *Device) forceGC(at sim.Time) sim.Time {
+	for d.freeCount <= gcReserveBlocks+1 {
+		victim := d.pickVictim(at)
+		if victim < 0 {
+			break
+		}
+		done, ok := d.relocateAndErase(at, victim)
+		if !ok {
+			break
+		}
+		at = sim.Max(at, done)
+	}
+	return at
+}
+
+// isFrontier reports whether block is a currently open write frontier.
+func (d *Device) isFrontier(block int) bool {
+	for _, fronts := range d.hostFront {
+		for i := range fronts {
+			if fronts[i].block == block {
+				return true
+			}
+		}
+	}
+	for i := range d.gcFront {
+		if d.gcFront[i].block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// pickVictim selects a GC victim per the configured policy, or -1 if no
+// block is eligible. Only fully-written, non-frontier, non-free blocks are
+// candidates; ties break toward the least-erased block (wear leveling).
+func (d *Device) pickVictim(at sim.Time) int {
+	best := -1
+	var bestValid int64
+	var bestScore float64
+	for b := 0; b < d.geom.TotalBlocks(); b++ {
+		if d.chip.IsBad(b) || d.isFree(b) || d.isFrontier(b) || b == d.gcVictim {
+			continue
+		}
+		if d.chip.WrittenPages(b) < d.pages {
+			continue
+		}
+		v := d.valid[b]
+		if v >= int64(d.pages) {
+			continue // nothing to gain
+		}
+		switch d.cfg.GCPolicy {
+		case CostBenefit:
+			u := float64(v) / float64(d.pages)
+			age := float64(at-d.lastInval[b]) + 1
+			var score float64
+			if u == 0 {
+				score = age * 1e12 // free lunch: a fully dead block
+			} else {
+				score = age * (1 - u) / (2 * u)
+			}
+			if best < 0 || score > bestScore ||
+				(score == bestScore && d.chip.EraseCount(b) < d.chip.EraseCount(best)) {
+				best, bestScore = b, score
+			}
+		default: // Greedy
+			if best < 0 || v < bestValid ||
+				(v == bestValid && d.chip.EraseCount(b) < d.chip.EraseCount(best)) {
+				best, bestValid = b, v
+			}
+		}
+	}
+	return best
+}
+
+func (d *Device) isFree(block int) bool { return d.freeBit[block] }
+
+// hostSlots reports the page slots reachable by host allocation: free
+// blocks above the GC reserve plus residual space in the host frontiers.
+// GC triggers on this quantity — space parked in GC frontiers cannot serve
+// host writes, so counting it would let the device run dry (§2.4's opaque
+// foreground GC is bad enough without deadlocking).
+func (d *Device) hostSlots() int64 {
+	free := int64(d.freeCount - gcReserveBlocks)
+	if free < 0 {
+		free = 0
+	}
+	slots := free * int64(d.pages)
+	for _, fronts := range d.hostFront {
+		for i := range fronts {
+			if b := fronts[i].block; b >= 0 {
+				slots += int64(d.pages - d.chip.WrittenPages(b))
+			}
+		}
+	}
+	return slots
+}
+
+// gcSlots reports the page slots reachable by GC allocation: free blocks
+// plus residual space in the GC frontier set (or the shared frontiers when
+// hot/cold separation is off).
+func (d *Device) gcSlots() int64 {
+	slots := int64(d.freeCount) * int64(d.pages)
+	if d.cfg.HotColdSeparation {
+		for i := range d.gcFront {
+			if b := d.gcFront[i].block; b >= 0 {
+				slots += int64(d.pages - d.chip.WrittenPages(b))
+			}
+		}
+		return slots
+	}
+	for _, fronts := range d.hostFront {
+		for i := range fronts {
+			if b := fronts[i].block; b >= 0 {
+				slots += int64(d.pages - d.chip.WrittenPages(b))
+			}
+		}
+	}
+	return slots
+}
+
+// relocateAndErase copies the victim's valid pages forward, erases it, and
+// returns it to the free pool. Copies are issued concurrently at time at and
+// serialize per-LUN through the flash resource model; the erase queues
+// behind the victim-LUN reads. Returns the erase completion time.
+func (d *Device) relocateAndErase(at sim.Time, victim int) (sim.Time, bool) {
+	// Refuse up front if the victim's survivors cannot fit in GC-reachable
+	// space: a partial relocation would consume slots without freeing the
+	// block, leaking space until reclamation deadlocks.
+	if d.valid[victim] > d.gcSlots() {
+		return at, false
+	}
+	var lastDone = at
+	for p := 0; p < d.pages; p++ {
+		ppn := d.ppn(victim, p)
+		lpn := d.p2l[ppn]
+		if lpn == unmapped {
+			continue
+		}
+		dst, err := d.allocPage(0, true)
+		if err != nil {
+			return at, false // out of space mid-GC; caller surfaces ErrOutOfSpace
+		}
+		done, err := d.chip.CopyPage(at, victim, p, d.blockOf(dst), d.pageOf(dst))
+		if err != nil {
+			return at, false
+		}
+		if done > lastDone {
+			lastDone = done
+		}
+		d.freeSlots--
+		// Re-point the mapping.
+		d.p2l[ppn] = unmapped
+		d.l2p[lpn] = dst
+		d.p2l[dst] = lpn
+		d.valid[d.blockOf(dst)]++
+		d.valid[victim]--
+		d.counters.FlashReadPages++
+		d.counters.FlashProgramPages++
+		d.counters.GCCopyPages++
+	}
+
+	d.gcRuns++
+	eraseDone, err := d.chip.EraseBlock(at, victim)
+	if err != nil {
+		// ErrWornOut: the block is retired and its capacity is permanently
+		// lost (it stays out of the free pool and out of freeSlots). Any
+		// other error is a bug; either way the block is not reusable.
+		_ = flash.ErrWornOut
+		d.valid[victim] = 0
+		return lastDone, true
+	}
+	d.counters.BlockErases++
+	d.valid[victim] = 0
+	d.freeSlots += int64(d.pages)
+	lun := d.geom.LUNOfBlock(victim)
+	d.freePerLUN[lun] = append(d.freePerLUN[lun], victim)
+	d.freeBit[victim] = true
+	d.freeCount++
+	return sim.Max(lastDone, eraseDone), true
+}

@@ -1,0 +1,344 @@
+// Package hostftl implements a block interface on top of a ZNS device —
+// the host-side translation layer the paper says was "straightforward to
+// implement" (§2.3, dm-zoned; §2.4's IBM SALSA). It is the piece that moves
+// the conventional FTL's responsibilities to the host, where they can be
+// scheduled around application I/O (§4.1) and fed with application
+// information the on-board FTL never had.
+//
+// The layer is log-structured: logical pages are appended to per-stream
+// open zones, a logical-to-device mapping is kept in host DRAM, and
+// reclamation resets zones after relocating their live pages. Three knobs
+// correspond directly to the paper's claims:
+//
+//   - UseSimpleCopy: relocate via the NVMe simple-copy command, consuming
+//     no PCIe bandwidth (§2.3), instead of host read+write.
+//   - GCIncremental: spread relocation into small chunks interleaved with
+//     host I/O instead of stop-the-world victim relocation — the
+//     host-scheduled GC of §4.1/§2.4 that crushes tail latency.
+//   - Streams: direct writes tagged with different lifetime hints to
+//     different open zones, the application-aware placement of §4.1.
+package hostftl
+
+import (
+	"errors"
+	"fmt"
+
+	"blockhead/internal/sim"
+	"blockhead/internal/stats"
+	"blockhead/internal/zns"
+)
+
+// GCMode selects how reclamation is scheduled.
+type GCMode int
+
+const (
+	// GCInline mimics a conventional FTL's behavior: when free zones run
+	// low, the triggering write stalls behind a full victim relocation.
+	GCInline GCMode = iota
+	// GCIncremental starts earlier and relocates a bounded chunk per host
+	// write, so no single request waits behind a whole zone's relocation.
+	GCIncremental
+)
+
+// String implements fmt.Stringer.
+func (m GCMode) String() string {
+	if m == GCIncremental {
+		return "incremental"
+	}
+	return "inline"
+}
+
+// Errors returned by the translation layer.
+var (
+	ErrOutOfRange = errors.New("hostftl: logical page out of range")
+	ErrUnmapped   = errors.New("hostftl: read of unmapped logical page")
+	ErrOutOfSpace = errors.New("hostftl: no free zones")
+	ErrBadStream  = errors.New("hostftl: stream out of range")
+)
+
+const unmapped = int64(-1)
+
+// Config parameterizes the layer.
+type Config struct {
+	// OPFraction reserves this fraction of zones as relocation headroom,
+	// the host-side analogue of conventional overprovisioning — except the
+	// host chooses it per application (§2.2). Default 0.1.
+	OPFraction float64
+
+	// Streams is the number of write streams (lifetime classes) with their
+	// own open zones. Default 1.
+	Streams int
+
+	// ZonesPerStream is how many zones each stream keeps open and stripes
+	// writes across — the host's lever for write parallelism when zones
+	// are narrow. Default 1.
+	ZonesPerStream int
+
+	// UseSimpleCopy relocates with the device's simple-copy command.
+	UseSimpleCopy bool
+
+	// GCMode selects inline or incremental reclamation.
+	GCMode GCMode
+
+	// GCChunkPages bounds relocation work per host write in incremental
+	// mode. Default 8.
+	GCChunkPages int
+}
+
+// FTL is a host-side block-on-ZNS translation layer.
+type FTL struct {
+	dev *zns.Device
+	cfg Config
+
+	logicalPages int64
+	zonePages    int64
+
+	l2p []int64 // logical page -> device LBA
+	p2l []int64 // device LBA -> logical page
+	// valid counts live pages per zone.
+	valid []int64
+
+	freeZones  []int
+	streamZone [][]int // open data zones per stream (ZonesPerStream wide)
+	streamRR   []int   // per-stream round-robin cursor
+	gcZone     int     // open relocation destination, -1 if none
+
+	// Incremental GC cursor.
+	gcVictim int
+	gcCursor int64
+
+	hostWrites  uint64
+	hostReads   uint64
+	gcResets    uint64
+	emergencies uint64
+	remaps      uint64
+	maintTicks  uint64
+	// lastStall is the host-visible stall of the most recent write due to
+	// reclamation work.
+	lastStall sim.Time
+}
+
+// New wraps a ZNS device. The device must allow at least Streams+1 active
+// zones (one relocation destination plus one open zone per stream).
+func New(dev *zns.Device, cfg Config) (*FTL, error) {
+	if cfg.OPFraction <= 0 {
+		cfg.OPFraction = 0.1
+	}
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1
+	}
+	if cfg.GCChunkPages <= 0 {
+		cfg.GCChunkPages = 8
+	}
+	if cfg.ZonesPerStream <= 0 {
+		cfg.ZonesPerStream = 1
+	}
+	need := cfg.Streams*cfg.ZonesPerStream + 1
+	if dev.MaxActive() != 0 && dev.MaxActive() < need {
+		return nil, fmt.Errorf("hostftl: device allows %d active zones; need %d (streams*zones+1)",
+			dev.MaxActive(), need)
+	}
+	nz := dev.NumZones()
+	reserve := int(cfg.OPFraction * float64(nz))
+	if reserve < need+2 {
+		reserve = need + 2
+	}
+	if nz-reserve < 1 {
+		return nil, fmt.Errorf("hostftl: %d zones too few for reserve %d", nz, reserve)
+	}
+	zp := dev.ZonePages()
+	f := &FTL{
+		dev:          dev,
+		cfg:          cfg,
+		logicalPages: int64(nz-reserve) * zp,
+		zonePages:    zp,
+		l2p:          make([]int64, int64(nz-reserve)*zp),
+		p2l:          make([]int64, int64(nz)*zp),
+		valid:        make([]int64, nz),
+		streamZone:   make([][]int, cfg.Streams),
+		streamRR:     make([]int, cfg.Streams),
+		gcZone:       -1,
+		gcVictim:     -1,
+	}
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	for z := 0; z < nz; z++ {
+		f.freeZones = append(f.freeZones, z)
+	}
+	for i := range f.streamZone {
+		f.streamZone[i] = make([]int, cfg.ZonesPerStream)
+		for j := range f.streamZone[i] {
+			f.streamZone[i][j] = -1
+		}
+	}
+	return f, nil
+}
+
+// CapacityPages reports the logical capacity in pages.
+func (f *FTL) CapacityPages() int64 { return f.logicalPages }
+
+// PageSize reports the page size in bytes.
+func (f *FTL) PageSize() int { return f.dev.PageSize() }
+
+// Device exposes the underlying ZNS device (for counters and reports).
+func (f *FTL) Device() *zns.Device { return f.dev }
+
+// HostWrites reports logical pages written by callers (the WA denominator).
+func (f *FTL) HostWrites() uint64 { return f.hostWrites }
+
+// GCResets reports how many zones reclamation has recycled.
+func (f *FTL) GCResets() uint64 { return f.gcResets }
+
+// Emergencies reports how often incremental mode fell back to a blocking
+// reclamation pass because the pool ran dry — each one is a tail-latency
+// spike, so well-paced maintenance keeps this at zero.
+func (f *FTL) Emergencies() uint64 { return f.emergencies }
+
+// WorkStats reports the host-side CPU work the translation layer performed:
+// mapping operations (one per host I/O plus one per relocation remap),
+// relocation pages orchestrated, and maintenance scheduler invocations.
+// These feed the offload cost model (§4.2's host-vs-SoC question).
+func (f *FTL) WorkStats() (mapOps, relocPages, maintTicks uint64) {
+	return f.hostWrites + f.hostReads + f.remaps, f.remaps, f.maintTicks
+}
+
+// LastStall reports the reclamation stall charged to the most recent write.
+func (f *FTL) LastStall() sim.Time { return f.lastStall }
+
+// WriteAmp reports end-to-end write amplification: flash pages programmed
+// (appends + relocation copies) per logical page written.
+func (f *FTL) WriteAmp() float64 {
+	if f.hostWrites == 0 {
+		return 1
+	}
+	return float64(f.dev.Counters().FlashProgramPages) / float64(f.hostWrites)
+}
+
+// Counters exposes the device counters (PCIe bytes, flash ops).
+func (f *FTL) Counters() *stats.Counters { return f.dev.Counters() }
+
+// DRAMFootprintBytes reports host DRAM for the mapping: 8 bytes per logical
+// page (host DIMMs are cheap and byte-granular; §2.3 footnote 2 is about
+// exactly this trade).
+func (f *FTL) DRAMFootprintBytes() int64 {
+	return 8*f.logicalPages + 8*int64(len(f.p2l))
+}
+
+func (f *FTL) takeFreeZone() (int, bool) {
+	for len(f.freeZones) > 0 {
+		z := f.freeZones[0]
+		f.freeZones = f.freeZones[1:]
+		if f.dev.State(z) == zns.Offline || f.dev.WritableCap(z) == 0 {
+			continue // lost to wear
+		}
+		return z, true
+	}
+	return -1, false
+}
+
+// appendTo appends one page into the given open zone, rolling to a fresh
+// zone when full. Returns the device LBA. zoneSlot points at the stream's
+// (or GC's) current-zone variable.
+func (f *FTL) appendTo(at sim.Time, zoneSlot *int, data []byte) (int64, sim.Time, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		if *zoneSlot < 0 {
+			z, ok := f.takeFreeZone()
+			if !ok {
+				return 0, at, ErrOutOfSpace
+			}
+			*zoneSlot = z
+		}
+		lba, done, err := f.dev.Append(at, *zoneSlot, data)
+		if err == nil {
+			return lba, done, nil
+		}
+		if errors.Is(err, zns.ErrZoneFull) {
+			*zoneSlot = -1
+			continue
+		}
+		return 0, at, err
+	}
+	return 0, at, ErrOutOfSpace
+}
+
+func (f *FTL) invalidate(devLBA int64) {
+	if devLBA == unmapped {
+		return
+	}
+	z, _ := f.dev.ZoneOf(devLBA)
+	f.p2l[devLBA] = unmapped
+	f.valid[z]--
+}
+
+// Write writes one logical page on stream 0.
+func (f *FTL) Write(at sim.Time, lpn int64, data []byte) (sim.Time, error) {
+	return f.WriteStream(at, lpn, 0, data)
+}
+
+// WriteStream writes one logical page with a lifetime-stream hint. Streams
+// segregate data into different zones so data that dies together is erased
+// together (§4.1).
+func (f *FTL) WriteStream(at sim.Time, lpn int64, stream int, data []byte) (sim.Time, error) {
+	if lpn < 0 || lpn >= f.logicalPages {
+		return at, ErrOutOfRange
+	}
+	if stream < 0 || stream >= f.cfg.Streams {
+		return at, ErrBadStream
+	}
+	start := at
+	at = f.reclaim(at)
+
+	slot := f.streamRR[stream] % len(f.streamZone[stream])
+	f.streamRR[stream]++
+	lba, done, err := f.appendTo(at, &f.streamZone[stream][slot], data)
+	if err != nil {
+		return at, err
+	}
+	f.invalidate(f.l2p[lpn])
+	f.l2p[lpn] = lba
+	f.p2l[lba] = lpn
+	z, _ := f.dev.ZoneOf(lba)
+	f.valid[z]++
+	f.hostWrites++
+	f.lastStall = at - start
+	return done, nil
+}
+
+// Read reads one logical page.
+func (f *FTL) Read(at sim.Time, lpn int64) (sim.Time, []byte, error) {
+	if lpn < 0 || lpn >= f.logicalPages {
+		return at, nil, ErrOutOfRange
+	}
+	lba := f.l2p[lpn]
+	if lba == unmapped {
+		return at, nil, ErrUnmapped
+	}
+	done, data, err := f.dev.Read(at, lba)
+	if err != nil {
+		return at, nil, err
+	}
+	f.hostReads++
+	return done, data, nil
+}
+
+// Trim unmaps n logical pages starting at lpn — free for the host, since
+// it owns the mapping.
+func (f *FTL) Trim(lpn, n int64) error {
+	if lpn < 0 || lpn+n > f.logicalPages {
+		return ErrOutOfRange
+	}
+	for i := lpn; i < lpn+n; i++ {
+		if f.l2p[i] != unmapped {
+			f.invalidate(f.l2p[i])
+			f.l2p[i] = unmapped
+		}
+	}
+	return nil
+}
+
+// FreeZones reports the number of zones in the free pool.
+func (f *FTL) FreeZones() int { return len(f.freeZones) }

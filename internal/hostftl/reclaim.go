@@ -1,0 +1,282 @@
+package hostftl
+
+import (
+	"blockhead/internal/sim"
+	"blockhead/internal/zns"
+)
+
+// Reclamation thresholds, in free zones. Inline mode waits until the pool
+// is nearly dry and then stalls the triggering write for a full victim;
+// incremental mode starts earlier and spreads the work.
+const (
+	inlineLowWater        = 2
+	incrementalStartWater = 4
+)
+
+// MaintenanceStep lets the host schedule reclamation entirely on its own
+// clock (§4.1: "the host is in full control and can precisely schedule
+// zone erasures and maintenance operations"). It relocates at most budget
+// valid pages (plus any free zone resets) if the free pool is at or below
+// targetFree, and reports whether it did anything. Driving this from a
+// paced maintenance loop decouples reclamation from write bursts — the
+// mechanism behind the paper's §2.4 tail-latency results.
+func (f *FTL) MaintenanceStep(at sim.Time, budget, targetFree int) bool {
+	f.maintTicks++
+	if len(f.freeZones) > targetFree {
+		return false
+	}
+	before := f.gcResets
+	beforeFree := len(f.freeZones)
+	f.reclaimChunk(at, budget, targetFree)
+	return f.gcResets != before || len(f.freeZones) != beforeFree || f.gcVictim >= 0
+}
+
+// reclaim makes free space per the configured policy and returns the time
+// at which the triggering host write may proceed. In incremental mode the
+// relocation chunk is issued concurrently with the write (the host owns
+// scheduling, §4.1), so the returned time equals at; the cost surfaces only
+// as device-resource contention.
+func (f *FTL) reclaim(at sim.Time) sim.Time {
+	switch f.cfg.GCMode {
+	case GCIncremental:
+		if len(f.freeZones) <= 1 {
+			// Emergency: the pool is dry; fall back to a blocking pass.
+			f.emergencies++
+			return f.reclaimInline(at)
+		}
+		if len(f.freeZones) <= incrementalStartWater {
+			f.reclaimChunk(at, f.cfg.GCChunkPages, incrementalStartWater)
+		}
+		return at
+	default:
+		if len(f.freeZones) > inlineLowWater {
+			return at
+		}
+		return f.reclaimInline(at)
+	}
+}
+
+// reclaimInline relocates whole victims until the pool recovers, returning
+// the completion time of the last reset — the conventional-style stall.
+func (f *FTL) reclaimInline(at sim.Time) sim.Time {
+	// Finish any in-flight incremental victim first: it is excluded from
+	// victim selection, so its dead space is otherwise unreachable here.
+	if f.gcVictim >= 0 {
+		victim, from := f.gcVictim, f.gcCursor
+		f.gcVictim = -1
+		done, ok := f.finishVictim(at, victim, from)
+		if ok {
+			at = sim.Max(at, done)
+		}
+	}
+	for len(f.freeZones) <= inlineLowWater {
+		victim := f.pickVictim()
+		if victim < 0 {
+			break
+		}
+		done, ok := f.relocateAll(at, victim)
+		if !ok {
+			break
+		}
+		at = sim.Max(at, done)
+	}
+	return at
+}
+
+// pickVictim selects the non-open zone with the most dead (reclaimable)
+// pages, or -1 if no zone has any. Requiring dead > 0 guarantees every
+// relocation cycle makes net space progress, so reclamation terminates.
+func (f *FTL) pickVictim() int {
+	best := -1
+	var bestDead int64
+	for z := 0; z < f.dev.NumZones(); z++ {
+		if f.isOpenForWriting(z) {
+			continue
+		}
+		st := f.dev.State(z)
+		if st == zns.Offline || st == zns.Empty {
+			continue
+		}
+		dead := f.dev.WP(z) - f.valid[z]
+		if dead <= 0 {
+			continue
+		}
+		if best < 0 || dead > bestDead {
+			best, bestDead = z, dead
+		}
+	}
+	return best
+}
+
+func (f *FTL) isOpenForWriting(z int) bool {
+	if z == f.gcZone || z == f.gcVictim {
+		return true
+	}
+	for _, zones := range f.streamZone {
+		for _, sz := range zones {
+			if sz == z {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// relocateAll moves every valid page out of victim and resets it.
+func (f *FTL) relocateAll(at sim.Time, victim int) (sim.Time, bool) {
+	return f.finishVictim(at, victim, 0)
+}
+
+// finishVictim relocates the valid pages in [from, WP) of victim and resets
+// it, returning the reset completion time.
+func (f *FTL) finishVictim(at sim.Time, victim int, from int64) (sim.Time, bool) {
+	done, ok := f.relocateRange(at, victim, from, f.dev.WP(victim))
+	if !ok {
+		return at, false
+	}
+	resetDone, err := f.dev.Reset(done, victim)
+	if err != nil {
+		return done, false
+	}
+	f.valid[victim] = 0
+	if f.dev.State(victim) == zns.Empty {
+		f.freeZones = append(f.freeZones, victim)
+	}
+	f.gcResets++
+	return resetDone, true
+}
+
+// relocateRange moves the valid pages in [from, to) of victim into the GC
+// zone, via simple copy or host read+write. It returns the completion time
+// of the last relocation op.
+func (f *FTL) relocateRange(at sim.Time, victim int, from, to int64) (sim.Time, bool) {
+	done := at
+	if f.cfg.UseSimpleCopy {
+		// Batch the valid LBAs and let the controller move them; no PCIe.
+		var batch []int64
+		flush := func() bool {
+			for len(batch) > 0 {
+				if f.gcZone < 0 {
+					z, ok := f.takeFreeZone()
+					if !ok {
+						return false
+					}
+					f.gcZone = z
+				}
+				room := f.dev.WritableCap(f.gcZone) - f.dev.WP(f.gcZone)
+				n := int64(len(batch))
+				if n > room {
+					n = room
+				}
+				if n == 0 {
+					f.gcZone = -1
+					continue
+				}
+				first, cDone, err := f.dev.SimpleCopy(at, batch[:n], f.gcZone)
+				if err != nil {
+					return false
+				}
+				for i := int64(0); i < n; i++ {
+					f.remap(batch[i], first+i)
+				}
+				batch = batch[n:]
+				done = sim.Max(done, cDone)
+			}
+			return true
+		}
+		for o := from; o < to; o++ {
+			src := f.dev.LBA(victim, o)
+			if f.p2l[src] != unmapped {
+				batch = append(batch, src)
+			}
+		}
+		if !flush() {
+			return at, false
+		}
+		return done, true
+	}
+
+	// Host path: read each valid page over PCIe and append it back.
+	for o := from; o < to; o++ {
+		src := f.dev.LBA(victim, o)
+		if f.p2l[src] == unmapped {
+			continue
+		}
+		rDone, data, err := f.dev.Read(at, src)
+		if err != nil {
+			return at, false
+		}
+		dst, wDone, err := f.appendTo(rDone, &f.gcZone, data)
+		if err != nil {
+			return at, false
+		}
+		f.remap(src, dst)
+		done = sim.Max(done, wDone)
+	}
+	return done, true
+}
+
+// remap moves a live mapping from src to dst.
+func (f *FTL) remap(src, dst int64) {
+	lpn := f.p2l[src]
+	if lpn == unmapped {
+		return
+	}
+	sz, _ := f.dev.ZoneOf(src)
+	dz, _ := f.dev.ZoneOf(dst)
+	f.p2l[src] = unmapped
+	f.valid[sz]--
+	f.l2p[lpn] = dst
+	f.p2l[dst] = lpn
+	f.valid[dz]++
+	f.remaps++
+}
+
+// reclaimChunk advances incremental reclamation by at most budget copied
+// pages and at most one zone reset: it works through the current victim a
+// chunk at a time and resets it when done. The work is issued at time at
+// but never blocks the caller. The single-reset cap matters as much as the
+// copy budget: a backlog of fully-dead zones costs no copies, and erasing
+// them all in one call would park tens of milliseconds of erase work on
+// the LUNs — exactly the tail spike this mode exists to avoid.
+func (f *FTL) reclaimChunk(at sim.Time, budget, water int) {
+	resets := 0
+	for budget > 0 && resets == 0 && len(f.freeZones) <= water {
+		if f.gcVictim < 0 {
+			v := f.pickVictim()
+			if v < 0 {
+				return
+			}
+			f.gcVictim, f.gcCursor = v, 0
+		}
+		wp := f.dev.WP(f.gcVictim)
+		end := f.gcCursor + int64(budget)
+		if end > wp {
+			end = wp
+		}
+		// Count only valid pages against the budget.
+		var validInRange int
+		for o := f.gcCursor; o < end; o++ {
+			if f.p2l[f.dev.LBA(f.gcVictim, o)] != unmapped {
+				validInRange++
+			}
+		}
+		if _, ok := f.relocateRange(at, f.gcVictim, f.gcCursor, end); !ok {
+			return
+		}
+		f.gcCursor = end
+		budget -= validInRange
+		if f.gcCursor >= wp {
+			victim := f.gcVictim
+			f.gcVictim = -1
+			if _, err := f.dev.Reset(at, victim); err == nil {
+				f.valid[victim] = 0
+				if f.dev.State(victim) == zns.Empty {
+					f.freeZones = append(f.freeZones, victim)
+				}
+				f.gcResets++
+				resets++
+			}
+		}
+	}
+}

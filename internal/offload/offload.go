@@ -1,0 +1,112 @@
+// Package offload models the paper's final research question (§4.2): ZNS
+// moves FTL work onto host CPUs at the same moment hyperscalers are moving
+// I/O processing off them (AWS Nitro ASICs, Microsoft ARM SoCs, Alibaba
+// FPGAs). "This apparent contradiction in system design philosophies calls
+// for academic scrutiny... we envision research on how to decide which
+// parts of the hardware stack should be responsible for which
+// functionality."
+//
+// The model is Accelerometer-style arithmetic [Sriraman & Dhanotia,
+// ASPLOS'20]: take the host-FTL's *measured* per-request work (mapping
+// updates, relocation copies orchestrated, maintenance ticks — all counted
+// by internal/hostftl during a simulated run), multiply by per-operation
+// CPU costs, and price the resulting cores on a host x86 against a
+// dedicated SoC. The output is the throughput threshold where offloading
+// the ZNS translation layer pays for itself.
+package offload
+
+import "fmt"
+
+// Work is the host-side FTL work per host I/O request, measured by a
+// device-model run (counts are per 4 KiB request).
+type Work struct {
+	// MapOps is mapping-table reads+updates per request.
+	MapOps float64
+	// RelocPages is relocation pages orchestrated per request (the host
+	// issues simple-copy or read+write commands and remaps).
+	RelocPages float64
+	// MaintTicks is scheduler/maintenance invocations per request.
+	MaintTicks float64
+}
+
+// CostModel prices CPU work on the host and on a dedicated SoC.
+type CostModel struct {
+	// Cycles per unit of work.
+	CyclesPerMapOp     float64
+	CyclesPerRelocPage float64
+	CyclesPerMaintTick float64
+
+	// HostCoreHz and SoCCoreHz are effective core frequencies.
+	HostCoreHz float64
+	SoCCoreHz  float64
+
+	// HostCoreUSD and SoCCoreUSD are amortized per-core prices. Dedicated
+	// SoC cores are slower but far cheaper per core (the Nitro/LeapIO
+	// premise); the SoC also carries a fixed board cost.
+	HostCoreUSD float64
+	SoCCoreUSD  float64
+	SoCFixedUSD float64
+}
+
+// DefaultCostModel returns calibration constants: a 2.1 GHz host core at
+// server pricing vs. a 1.2 GHz SoC core at embedded pricing plus a fixed
+// card cost.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CyclesPerMapOp:     300,  // hash/array lookup + update, cache-missy
+		CyclesPerRelocPage: 1500, // command setup + completion + remap
+		CyclesPerMaintTick: 800,  // victim scan step + bookkeeping
+		HostCoreHz:         2.1e9,
+		SoCCoreHz:          1.2e9,
+		HostCoreUSD:        60,
+		SoCCoreUSD:         8,
+		SoCFixedUSD:        25,
+	}
+}
+
+// Validate rejects non-positive constants.
+func (m CostModel) Validate() error {
+	if m.CyclesPerMapOp <= 0 || m.CyclesPerRelocPage <= 0 || m.CyclesPerMaintTick <= 0 ||
+		m.HostCoreHz <= 0 || m.SoCCoreHz <= 0 || m.HostCoreUSD <= 0 || m.SoCCoreUSD <= 0 {
+		return fmt.Errorf("offload: non-positive constant in %+v", m)
+	}
+	return nil
+}
+
+// CyclesPerRequest converts measured work into CPU cycles per request.
+func (m CostModel) CyclesPerRequest(w Work) float64 {
+	return w.MapOps*m.CyclesPerMapOp + w.RelocPages*m.CyclesPerRelocPage +
+		w.MaintTicks*m.CyclesPerMaintTick
+}
+
+// HostCores reports host cores consumed running the translation layer at
+// the given request rate.
+func (m CostModel) HostCores(w Work, reqPerSec float64) float64 {
+	return m.CyclesPerRequest(w) * reqPerSec / m.HostCoreHz
+}
+
+// SoCCores reports SoC cores needed for the same work.
+func (m CostModel) SoCCores(w Work, reqPerSec float64) float64 {
+	return m.CyclesPerRequest(w) * reqPerSec / m.SoCCoreHz
+}
+
+// HostUSD prices the host-resident translation layer at a request rate.
+func (m CostModel) HostUSD(w Work, reqPerSec float64) float64 {
+	return m.HostCores(w, reqPerSec) * m.HostCoreUSD
+}
+
+// SoCUSD prices the offloaded translation layer at a request rate.
+func (m CostModel) SoCUSD(w Work, reqPerSec float64) float64 {
+	return m.SoCFixedUSD + m.SoCCores(w, reqPerSec)*m.SoCCoreUSD
+}
+
+// BreakEvenReqPerSec reports the request rate above which offloading to
+// the SoC is cheaper than host cores, or +Inf-like negative if never.
+func (m CostModel) BreakEvenReqPerSec(w Work) float64 {
+	perReqHost := m.CyclesPerRequest(w) / m.HostCoreHz * m.HostCoreUSD
+	perReqSoC := m.CyclesPerRequest(w) / m.SoCCoreHz * m.SoCCoreUSD
+	if perReqHost <= perReqSoC {
+		return -1 // host is always cheaper per marginal request
+	}
+	return m.SoCFixedUSD / (perReqHost - perReqSoC)
+}

@@ -1,0 +1,89 @@
+package offload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultCostModel()
+	bad.HostCoreHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestCyclesPerRequest(t *testing.T) {
+	m := CostModel{CyclesPerMapOp: 100, CyclesPerRelocPage: 1000, CyclesPerMaintTick: 10,
+		HostCoreHz: 1e9, SoCCoreHz: 5e8, HostCoreUSD: 10, SoCCoreUSD: 1, SoCFixedUSD: 5}
+	w := Work{MapOps: 2, RelocPages: 0.5, MaintTicks: 1}
+	want := 2*100 + 0.5*1000 + 1*10.0
+	if got := m.CyclesPerRequest(w); got != want {
+		t.Errorf("CyclesPerRequest = %v, want %v", got, want)
+	}
+}
+
+func TestCoreAndDollarAccounting(t *testing.T) {
+	m := CostModel{CyclesPerMapOp: 1000, CyclesPerRelocPage: 1, CyclesPerMaintTick: 1,
+		HostCoreHz: 1e9, SoCCoreHz: 5e8, HostCoreUSD: 100, SoCCoreUSD: 10, SoCFixedUSD: 20}
+	w := Work{MapOps: 1}
+	// 1e6 req/s * 1000 cycles = 1e9 cycles/s = 1 host core = $100.
+	if got := m.HostCores(w, 1e6); math.Abs(got-1) > 1e-9 {
+		t.Errorf("HostCores = %v, want 1", got)
+	}
+	if got := m.HostUSD(w, 1e6); math.Abs(got-100) > 1e-9 {
+		t.Errorf("HostUSD = %v, want 100", got)
+	}
+	// SoC needs 2 cores (half the clock): $20 fixed + $20.
+	if got := m.SoCCores(w, 1e6); math.Abs(got-2) > 1e-9 {
+		t.Errorf("SoCCores = %v, want 2", got)
+	}
+	if got := m.SoCUSD(w, 1e6); math.Abs(got-40) > 1e-9 {
+		t.Errorf("SoCUSD = %v, want 40", got)
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	m := CostModel{CyclesPerMapOp: 1000, CyclesPerRelocPage: 1, CyclesPerMaintTick: 1,
+		HostCoreHz: 1e9, SoCCoreHz: 5e8, HostCoreUSD: 100, SoCCoreUSD: 10, SoCFixedUSD: 20}
+	w := Work{MapOps: 1}
+	// Per-request: host 1000/1e9*100 = 1e-4 $, soc 1000/5e8*10 = 2e-5 $.
+	// Break-even: 20 / (1e-4 - 2e-5) = 250000 req/s.
+	be := m.BreakEvenReqPerSec(w)
+	if math.Abs(be-250000) > 1 {
+		t.Errorf("BreakEven = %v, want 250000", be)
+	}
+	// At the break-even rate the two prices agree.
+	if math.Abs(m.HostUSD(w, be)-m.SoCUSD(w, be)) > 1e-6 {
+		t.Error("prices disagree at break-even")
+	}
+	// A SoC that is pricier per cycle never breaks even.
+	never := m
+	never.SoCCoreUSD = 1000
+	if never.BreakEvenReqPerSec(w) >= 0 {
+		t.Error("expected no break-even when SoC cycles cost more")
+	}
+}
+
+// Property: prices are monotone in request rate and in work.
+func TestMonotoneProperty(t *testing.T) {
+	m := DefaultCostModel()
+	f := func(mapOps, reloc uint16, rate uint32) bool {
+		w := Work{MapOps: float64(mapOps%100) + 1, RelocPages: float64(reloc % 100)}
+		r1 := float64(rate%1000000) + 1
+		r2 := r1 * 2
+		if m.HostUSD(w, r2) < m.HostUSD(w, r1) || m.SoCUSD(w, r2) < m.SoCUSD(w, r1) {
+			return false
+		}
+		w2 := w
+		w2.RelocPages++
+		return m.HostUSD(w2, r1) >= m.HostUSD(w, r1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

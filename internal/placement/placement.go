@@ -1,0 +1,423 @@
+// Package placement studies the paper's central §4.1 question — "How can
+// application-level information improve zone management?" — with an
+// append-only object store over a ZNS device and pluggable data-placement
+// policies.
+//
+// Objects carry lifetime information (a class hint the application knows,
+// and an actual death time). A placement policy maps each object to a write
+// stream; each stream owns an open zone. When data that dies together is
+// placed together, zones become wholly dead before reclamation needs them
+// and can be reset without copying — write amplification approaches 1. When
+// lifetimes are mixed in a zone (the single-stream baseline, which is all a
+// conventional FTL could do), live data must be copied forward first.
+//
+// Policies:
+//
+//   - SingleStream: no information used (the conventional-FTL stand-in).
+//   - RoundRobin: spreads load but ignores lifetimes (a placebo control).
+//   - ByClass: uses the application's lifetime-class hint, quantized to k
+//     streams — "software can often make educated guesses" (§4.1).
+//   - Oracle: uses the actual death time — the upper bound on what
+//     information can buy, for the "theoretically optimal" question in §4.1.
+package placement
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"blockhead/internal/sim"
+	"blockhead/internal/workload"
+	"blockhead/internal/zns"
+)
+
+// Policy maps an object to a write stream.
+type Policy interface {
+	Name() string
+	Streams() int
+	StreamOf(now sim.Time, obj workload.Object) int
+}
+
+// SingleStream sends everything to one stream.
+type SingleStream struct{}
+
+// Name implements Policy.
+func (SingleStream) Name() string { return "single-stream" }
+
+// Streams implements Policy.
+func (SingleStream) Streams() int { return 1 }
+
+// StreamOf implements Policy.
+func (SingleStream) StreamOf(sim.Time, workload.Object) int { return 0 }
+
+// RoundRobin cycles objects across k streams regardless of lifetime.
+type RoundRobin struct {
+	K    int
+	next int
+}
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return fmt.Sprintf("round-robin-%d", r.K) }
+
+// Streams implements Policy.
+func (r *RoundRobin) Streams() int { return r.K }
+
+// StreamOf implements Policy.
+func (r *RoundRobin) StreamOf(sim.Time, workload.Object) int {
+	s := r.next
+	r.next = (r.next + 1) % r.K
+	return s
+}
+
+// ByClass uses the application's lifetime-class hint, quantizing Classes
+// application classes onto K streams.
+type ByClass struct {
+	K       int
+	Classes int
+}
+
+// Name implements Policy.
+func (b ByClass) Name() string { return fmt.Sprintf("by-class-%d", b.K) }
+
+// Streams implements Policy.
+func (b ByClass) Streams() int { return b.K }
+
+// StreamOf implements Policy.
+func (b ByClass) StreamOf(_ sim.Time, obj workload.Object) int {
+	if b.Classes <= b.K {
+		return obj.Class % b.K
+	}
+	return obj.Class * b.K / b.Classes
+}
+
+// Oracle buckets objects by their actual remaining lifetime into K
+// log-spaced buckets starting at Base (objects living < Base share
+// stream 0).
+type Oracle struct {
+	K    int
+	Base sim.Time
+}
+
+// Name implements Policy.
+func (o Oracle) Name() string { return fmt.Sprintf("oracle-%d", o.K) }
+
+// Streams implements Policy.
+func (o Oracle) Streams() int { return o.K }
+
+// StreamOf implements Policy.
+func (o Oracle) StreamOf(now sim.Time, obj workload.Object) int {
+	ttl := obj.Death - now
+	s := 0
+	for b := o.Base; ttl > b && s < o.K-1; b *= 2 {
+		s++
+	}
+	return s
+}
+
+// Errors returned by the store.
+var (
+	ErrOutOfSpace = errors.New("placement: no free zones")
+	ErrTooLarge   = errors.New("placement: object larger than a zone")
+	ErrNotFound   = errors.New("placement: unknown object")
+)
+
+type objState struct {
+	obj   workload.Object
+	zone  int
+	off   int64 // first page offset within the zone
+	alive bool
+}
+
+type seg struct {
+	id    int64
+	off   int64
+	pages int
+}
+
+// expiry heap, ordered by death time.
+type expHeap []*objState
+
+func (h expHeap) Len() int            { return len(h) }
+func (h expHeap) Less(i, j int) bool  { return h[i].obj.Death < h[j].obj.Death }
+func (h expHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expHeap) Push(x interface{}) { *h = append(*h, x.(*objState)) }
+func (h *expHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Store is an append-only object store over a ZNS device.
+type Store struct {
+	dev    *zns.Device
+	policy Policy
+
+	streamZone []int // open zone per stream, -1 = none
+	relocZone  int   // destination for GC survivors
+	freeZones  []int
+
+	objects map[int64]*objState
+	segs    [][]seg // per zone
+	live    []int64 // live pages per zone
+	exp     expHeap
+
+	hostPages uint64
+	gcResets  uint64
+	gcCopies  uint64
+}
+
+// NewStore builds a store. The device must allow at least
+// policy.Streams()+1 active zones.
+func NewStore(dev *zns.Device, policy Policy) (*Store, error) {
+	need := policy.Streams() + 1
+	if dev.MaxActive() != 0 && dev.MaxActive() < need {
+		return nil, fmt.Errorf("placement: device allows %d active zones; policy needs %d",
+			dev.MaxActive(), need)
+	}
+	if dev.NumZones() < need+2 {
+		return nil, fmt.Errorf("placement: %d zones too few for %d streams", dev.NumZones(), policy.Streams())
+	}
+	s := &Store{
+		dev:        dev,
+		policy:     policy,
+		streamZone: make([]int, policy.Streams()),
+		relocZone:  -1,
+		objects:    make(map[int64]*objState),
+		segs:       make([][]seg, dev.NumZones()),
+		live:       make([]int64, dev.NumZones()),
+	}
+	for i := range s.streamZone {
+		s.streamZone[i] = -1
+	}
+	for z := 0; z < dev.NumZones(); z++ {
+		s.freeZones = append(s.freeZones, z)
+	}
+	return s, nil
+}
+
+// Policy returns the store's placement policy.
+func (s *Store) Policy() Policy { return s.policy }
+
+// HostPages reports pages of object data written by callers.
+func (s *Store) HostPages() uint64 { return s.hostPages }
+
+// GCResets reports zones recycled by reclamation.
+func (s *Store) GCResets() uint64 { return s.gcResets }
+
+// GCCopies reports pages copied forward by reclamation.
+func (s *Store) GCCopies() uint64 { return s.gcCopies }
+
+// Live reports whether an object is currently stored.
+func (s *Store) Live(id int64) bool {
+	o, ok := s.objects[id]
+	return ok && o.alive
+}
+
+// WriteAmp reports flash pages programmed per host object page.
+func (s *Store) WriteAmp() float64 {
+	if s.hostPages == 0 {
+		return 1
+	}
+	return float64(s.dev.Counters().FlashProgramPages) / float64(s.hostPages)
+}
+
+func (s *Store) takeFreeZone() (int, bool) {
+	for len(s.freeZones) > 0 {
+		z := s.freeZones[0]
+		s.freeZones = s.freeZones[1:]
+		if s.dev.State(z) == zns.Offline || s.dev.WritableCap(z) == 0 {
+			continue
+		}
+		return z, true
+	}
+	return -1, false
+}
+
+// openWithRoom returns a zone bound to *slot with at least pages of room,
+// finishing the current one if it cannot fit the object.
+func (s *Store) openWithRoom(at sim.Time, slot *int, pages int) (int, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		if *slot < 0 {
+			z, ok := s.takeFreeZone()
+			if !ok {
+				return -1, ErrOutOfSpace
+			}
+			*slot = z
+		}
+		z := *slot
+		if s.dev.WritableCap(z)-s.dev.WP(z) >= int64(pages) {
+			return z, nil
+		}
+		// Objects never span zones: finish this one and roll.
+		if err := s.dev.Finish(at, z); err != nil && !errors.Is(err, zns.ErrBadState) {
+			return -1, err
+		}
+		*slot = -1
+	}
+	return -1, ErrOutOfSpace
+}
+
+// Put appends an object to the zone of its policy-assigned stream and
+// registers its expiry. Expired objects must be collected via ExpireUpTo.
+func (s *Store) Put(at sim.Time, obj workload.Object) (sim.Time, error) {
+	if int64(obj.Pages) > s.dev.ZonePages() {
+		return at, ErrTooLarge
+	}
+	s.reclaim(at)
+	stream := s.policy.StreamOf(at, obj)
+	if stream < 0 || stream >= len(s.streamZone) {
+		return at, fmt.Errorf("placement: policy %s returned stream %d of %d",
+			s.policy.Name(), stream, len(s.streamZone))
+	}
+	z, err := s.openWithRoom(at, &s.streamZone[stream], obj.Pages)
+	if err != nil {
+		return at, err
+	}
+	off := s.dev.WP(z)
+	done := at
+	for p := 0; p < obj.Pages; p++ {
+		_, d, err := s.dev.Append(at, z, nil)
+		if err != nil {
+			return at, err
+		}
+		done = sim.Max(done, d)
+	}
+	st := &objState{obj: obj, zone: z, off: off, alive: true}
+	s.objects[obj.ID] = st
+	s.segs[z] = append(s.segs[z], seg{id: obj.ID, off: off, pages: obj.Pages})
+	s.live[z] += int64(obj.Pages)
+	s.hostPages += uint64(obj.Pages)
+	heap.Push(&s.exp, st)
+	return done, nil
+}
+
+// Delete drops an object immediately (before its natural death).
+func (s *Store) Delete(id int64) error {
+	st, ok := s.objects[id]
+	if !ok || !st.alive {
+		return ErrNotFound
+	}
+	s.kill(st)
+	return nil
+}
+
+func (s *Store) kill(st *objState) {
+	if !st.alive {
+		return
+	}
+	st.alive = false
+	s.live[st.zone] -= int64(st.obj.Pages)
+	delete(s.objects, st.obj.ID)
+}
+
+// ExpireUpTo marks every object with Death <= now as dead and returns how
+// many expired.
+func (s *Store) ExpireUpTo(now sim.Time) int {
+	n := 0
+	for len(s.exp) > 0 && s.exp[0].obj.Death <= now {
+		st := heap.Pop(&s.exp).(*objState)
+		if st.alive {
+			s.kill(st)
+			n++
+		}
+	}
+	return n
+}
+
+// reclaim recycles the deadest zones while the free pool is low, copying
+// surviving objects (via simple copy) to the relocation zone. Work per call
+// is bounded so one Put never absorbs a whole-device compaction.
+func (s *Store) reclaim(at sim.Time) {
+	const maxVictims = 4
+	for v := 0; v < maxVictims && len(s.freeZones) <= 2; v++ {
+		victim := s.pickVictim()
+		if victim < 0 {
+			return
+		}
+		if !s.relocate(at, victim) {
+			return
+		}
+	}
+}
+
+func (s *Store) pickVictim() int {
+	best := -1
+	var bestDead int64
+	for z := 0; z < s.dev.NumZones(); z++ {
+		if s.isOpen(z) || s.dev.State(z) == zns.Offline || s.dev.State(z) == zns.Empty {
+			continue
+		}
+		if s.dev.WP(z) == 0 {
+			continue
+		}
+		dead := s.dev.WP(z) - s.live[z]
+		if dead <= 0 {
+			continue
+		}
+		if best < 0 || dead > bestDead {
+			best, bestDead = z, dead
+		}
+	}
+	return best
+}
+
+func (s *Store) isOpen(z int) bool {
+	if z == s.relocZone {
+		return true
+	}
+	for _, sz := range s.streamZone {
+		if sz == z {
+			return true
+		}
+	}
+	return false
+}
+
+// relocate copies each live object out of victim whole (objects never
+// fragment) and resets the zone.
+func (s *Store) relocate(at sim.Time, victim int) bool {
+	for _, sg := range s.segs[victim] {
+		st, ok := s.objects[sg.id]
+		if !ok || !st.alive || st.zone != victim {
+			continue
+		}
+		dz, err := s.openWithRoom(at, &s.relocZone, sg.pages)
+		if err != nil {
+			return false
+		}
+		srcs := make([]int64, sg.pages)
+		for p := range srcs {
+			srcs[p] = s.dev.LBA(victim, sg.off+int64(p))
+		}
+		newOff := s.dev.WP(dz)
+		if _, _, err := s.dev.SimpleCopy(at, srcs, dz); err != nil {
+			return false
+		}
+		s.live[victim] -= int64(sg.pages)
+		s.live[dz] += int64(sg.pages)
+		st.zone, st.off = dz, newOff
+		s.segs[dz] = append(s.segs[dz], seg{id: sg.id, off: newOff, pages: sg.pages})
+		s.gcCopies += uint64(sg.pages)
+	}
+	s.segs[victim] = nil
+	if _, err := s.dev.Reset(at, victim); err != nil {
+		return false
+	}
+	s.live[victim] = 0
+	if s.dev.State(victim) == zns.Empty {
+		s.freeZones = append(s.freeZones, victim)
+	}
+	s.gcResets++
+	return true
+}
+
+// ZoneOccupancy returns live-page counts per zone, sorted descending —
+// a diagnostic for how well a policy clusters deaths.
+func (s *Store) ZoneOccupancy() []int64 {
+	out := append([]int64(nil), s.live...)
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}

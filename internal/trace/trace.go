@@ -1,0 +1,207 @@
+// Package trace records and replays device-level I/O traces in a compact
+// binary format. The paper's §4.2 asks whether we "can systematically test
+// representative and synthetic workloads to discover if any perform worse
+// over ZNS"; a trace format is the mechanism: capture a workload once,
+// replay it against every device model and configuration.
+//
+// Format (all integers varint-encoded, times delta-encoded):
+//
+//	header:  "ZTRC" 0x01
+//	record:  uvarint dt | byte kind | varint lba | uvarint pages | varint zone
+//
+// The format is append-friendly and streams in both directions.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"blockhead/internal/sim"
+)
+
+// Kind is the operation type of a record.
+type Kind uint8
+
+// Operation kinds.
+const (
+	OpRead Kind = iota
+	OpWrite
+	OpTrim
+	OpAppend
+	OpReset
+	OpFinish
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpTrim:
+		return "trim"
+	case OpAppend:
+		return "append"
+	case OpReset:
+		return "reset"
+	case OpFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one traced operation. Block-interface ops use LBA/Pages; zone
+// ops use Zone (and Pages for appends).
+type Record struct {
+	At    sim.Time
+	Kind  Kind
+	LBA   int64
+	Pages int64
+	Zone  int32
+}
+
+var magic = []byte{'Z', 'T', 'R', 'C', 0x01}
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic = errors.New("trace: bad magic")
+	ErrCorrupt  = errors.New("trace: corrupt record")
+)
+
+// Writer streams records to w.
+type Writer struct {
+	w      *bufio.Writer
+	lastAt sim.Time
+	n      uint64
+	wrote  bool
+}
+
+// NewWriter returns a Writer that emits the header on the first record.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Append writes one record. Records must be in nondecreasing time order.
+func (tw *Writer) Append(rec Record) error {
+	if !tw.wrote {
+		if _, err := tw.w.Write(magic); err != nil {
+			return err
+		}
+		tw.wrote = true
+	}
+	if rec.At < tw.lastAt {
+		return fmt.Errorf("trace: record at %d before previous %d", rec.At, tw.lastAt)
+	}
+	if rec.Kind >= numKinds {
+		return fmt.Errorf("trace: unknown kind %d", rec.Kind)
+	}
+	var buf [5 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(rec.At-tw.lastAt))
+	buf[n] = byte(rec.Kind)
+	n++
+	n += binary.PutVarint(buf[n:], rec.LBA)
+	n += binary.PutUvarint(buf[n:], uint64(rec.Pages))
+	n += binary.PutVarint(buf[n:], int64(rec.Zone))
+	if _, err := tw.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	tw.lastAt = rec.At
+	tw.n++
+	return nil
+}
+
+// Len reports how many records have been appended.
+func (tw *Writer) Len() uint64 { return tw.n }
+
+// Flush flushes buffered output.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader streams records from r.
+type Reader struct {
+	r       *bufio.Reader
+	lastAt  sim.Time
+	started bool
+}
+
+// NewReader returns a Reader; the header is validated on the first Next.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next record, or io.EOF at end of trace.
+func (tr *Reader) Next() (Record, error) {
+	if !tr.started {
+		var hdr [5]byte
+		if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Record{}, io.EOF
+			}
+			return Record{}, ErrBadMagic
+		}
+		for i := range magic {
+			if hdr[i] != magic[i] {
+				return Record{}, ErrBadMagic
+			}
+		}
+		tr.started = true
+	}
+	dt, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, ErrCorrupt
+	}
+	kb, err := tr.r.ReadByte()
+	if err != nil {
+		return Record{}, ErrCorrupt
+	}
+	if Kind(kb) >= numKinds {
+		return Record{}, ErrCorrupt
+	}
+	lba, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		return Record{}, ErrCorrupt
+	}
+	pages, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return Record{}, ErrCorrupt
+	}
+	zone, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		return Record{}, ErrCorrupt
+	}
+	tr.lastAt += sim.Time(dt)
+	return Record{
+		At:    tr.lastAt,
+		Kind:  Kind(kb),
+		LBA:   lba,
+		Pages: int64(pages),
+		Zone:  int32(zone),
+	}, nil
+}
+
+// Replay streams every record through apply, stopping at the first error.
+// It returns the number of records applied.
+func Replay(tr *Reader, apply func(Record) error) (uint64, error) {
+	var n uint64
+	for {
+		rec, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := apply(rec); err != nil {
+			return n, fmt.Errorf("trace: record %d (%v at %d): %w", n, rec.Kind, rec.At, err)
+		}
+		n++
+	}
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/ftl"
+	"blockhead/internal/sim"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{OpRead: "read", OpWrite: "write", OpTrim: "trim",
+		OpAppend: "append", OpReset: "reset", OpFinish: "finish"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind String wrong")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{At: 0, Kind: OpWrite, LBA: 100, Pages: 8},
+		{At: 1500, Kind: OpRead, LBA: -1, Pages: 1}, // negative LBA survives
+		{At: 1500, Kind: OpReset, Zone: 42},
+		{At: 2000, Kind: OpAppend, Zone: 7, Pages: 4},
+		{At: 1 << 40, Kind: OpTrim, LBA: 1 << 50, Pages: 1 << 20},
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != uint64(len(recs)) {
+		t.Errorf("Len = %d", w.Len())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("rec %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("rec %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("trailing Next: %v, want EOF", err)
+	}
+}
+
+func TestWriterRejectsBadRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(Record{At: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{At: 50}); err == nil {
+		t.Error("time regression accepted")
+	}
+	if err := w.Append(Record{At: 200, Kind: numKinds}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))).Next(); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Truncated record after a valid header.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{At: 5, Kind: OpWrite, LBA: 1, Pages: 1})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated record: %v", err)
+	}
+	// A record with an invalid kind byte.
+	bad := append([]byte{}, []byte("ZTRC\x01")...)
+	bad = append(bad, 0 /* dt */, 200 /* kind */, 0, 0, 0)
+	if _, err := NewReader(bytes.NewReader(bad)).Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad kind: %v", err)
+	}
+}
+
+func TestEmptyTraceIsEOF(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty trace: %v, want EOF", err)
+	}
+}
+
+// Property: arbitrary monotone record sequences survive the round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%64 + 1
+		var recs []Record
+		var at sim.Time
+		for i := 0; i < n; i++ {
+			at += sim.Time(rng.Intn(1 << 30))
+			recs = append(recs, Record{
+				At:    at,
+				Kind:  Kind(rng.Intn(int(numKinds))),
+				LBA:   rng.Int63() - rng.Int63(),
+				Pages: int64(rng.Intn(1 << 16)),
+				Zone:  int32(rng.Intn(1 << 16)),
+			})
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, rec := range recs {
+			if err := w.Append(rec); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r := NewReader(&buf)
+		for _, want := range recs {
+			got, err := r.Next()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err := r.Next()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// End to end: record a workload, replay it against a conventional device.
+func TestReplayAgainstFTL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rng := rand.New(rand.NewSource(1))
+	var at sim.Time
+	for i := 0; i < 500; i++ {
+		at += sim.Time(rng.Intn(int(sim.Millisecond)))
+		kind := OpWrite
+		if i%3 == 0 {
+			kind = OpRead
+		}
+		w.Append(Record{At: at, Kind: kind, LBA: int64(rng.Intn(200)), Pages: 1})
+	}
+	w.Flush()
+
+	dev, err := ftl.NewDefault(flash.Geometry{Channels: 2, DiesPerChan: 2, PlanesPerDie: 1,
+		BlocksPerLUN: 16, PagesPerBlock: 32, PageSize: 4096},
+		flash.LatenciesFor(flash.TLC), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := map[int64]bool{}
+	n, err := Replay(NewReader(&buf), func(rec Record) error {
+		switch rec.Kind {
+		case OpWrite:
+			_, err := dev.WritePage(rec.At, rec.LBA, nil)
+			written[rec.LBA] = true
+			return err
+		case OpRead:
+			if !written[rec.LBA] {
+				return nil // cold read; nothing to verify
+			}
+			_, _, err := dev.ReadPage(rec.At, rec.LBA)
+			return err
+		default:
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Errorf("replayed %d records, want 500", n)
+	}
+	if dev.Counters().HostWritePages == 0 {
+		t.Error("replay drove no writes")
+	}
+}
+
+func TestReplayStopsOnError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		w.Append(Record{At: sim.Time(i), Kind: OpWrite, LBA: int64(i), Pages: 1})
+	}
+	w.Flush()
+	boom := errors.New("boom")
+	n, err := Replay(NewReader(&buf), func(rec Record) error {
+		if rec.LBA == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 5 {
+		t.Errorf("applied %d before error, want 5", n)
+	}
+}

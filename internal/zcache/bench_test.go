@@ -1,0 +1,74 @@
+package zcache
+
+import (
+	"testing"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/ftl"
+	"blockhead/internal/sim"
+	"blockhead/internal/workload"
+	"blockhead/internal/zns"
+)
+
+func benchGeom() flash.Geometry {
+	return flash.Geometry{Channels: 4, DiesPerChan: 1, PlanesPerDie: 1,
+		BlocksPerLUN: 32, PagesPerBlock: 64, PageSize: 4096}
+}
+
+func benchDrive(b *testing.B, c Cache) {
+	b.Helper()
+	src := workload.NewSource(1)
+	keys := workload.NewZipf(src, 3000, 0.99)
+	var at sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys.Next()
+		done, hit, err := c.Get(at, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = done
+		if !hit {
+			if at, err = c.Insert(at, k, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSetAssoc(b *testing.B) {
+	dev, err := ftl.NewDefault(benchGeom(), flash.LatenciesFor(flash.TLC), 0.11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewSetAssoc(dev, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDrive(b, c)
+	b.ReportMetric(c.Counters().WriteAmp(), "WA")
+}
+
+func BenchmarkConvBuffered(b *testing.B) {
+	dev, err := ftl.NewDefault(benchGeom(), flash.LatenciesFor(flash.TLC), 0.11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewConvBuffered(dev, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDrive(b, c)
+	b.ReportMetric(float64(c.DRAMBufferBytes()), "DRAM-bytes")
+}
+
+func BenchmarkZNSCache(b *testing.B) {
+	dev, err := zns.New(zns.Config{Geom: benchGeom(), Lat: flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewZNSCache(dev)
+	benchDrive(b, c)
+	b.ReportMetric(c.Counters().WriteAmp(), "WA")
+}

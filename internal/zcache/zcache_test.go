@@ -1,0 +1,201 @@
+package zcache
+
+import (
+	"errors"
+	"testing"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/ftl"
+	"blockhead/internal/sim"
+	"blockhead/internal/workload"
+	"blockhead/internal/zns"
+)
+
+func geom() flash.Geometry {
+	return flash.Geometry{Channels: 2, DiesPerChan: 2, PlanesPerDie: 1,
+		BlocksPerLUN: 32, PagesPerBlock: 16, PageSize: 4096}
+}
+
+func convDev(t *testing.T) *ftl.Device {
+	t.Helper()
+	d, err := ftl.NewDefault(geom(), flash.LatenciesFor(flash.TLC), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func znsDev(t *testing.T) *zns.Device {
+	t.Helper()
+	d, err := zns.New(zns.Config{Geom: geom(), Lat: flash.LatenciesFor(flash.TLC), ZoneBlocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func allCaches(t *testing.T) []Cache {
+	sa, err := NewSetAssoc(convDev(t), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewConvBuffered(convDev(t), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Cache{sa, cb, NewZNSCache(znsDev(t))}
+}
+
+func TestInsertGetHit(t *testing.T) {
+	for _, c := range allCaches(t) {
+		at, err := c.Insert(0, 42, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		done, hit, err := c.Get(at, 42)
+		if err != nil || !hit {
+			t.Fatalf("%s: get = %v %v", c.Name(), hit, err)
+		}
+		if done < at {
+			t.Errorf("%s: time went backward", c.Name())
+		}
+		_, hit, _ = c.Get(at, 999)
+		if hit {
+			t.Errorf("%s: phantom hit", c.Name())
+		}
+		s := c.Stats()
+		if s.Inserts != 1 || s.Hits != 1 || s.Misses != 1 {
+			t.Errorf("%s: stats %+v", c.Name(), s)
+		}
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	for _, c := range allCaches(t) {
+		var at sim.Time
+		n := int64(4000) // far beyond capacity (2048 pages / 4 = 512 objects)
+		for k := int64(0); k < n; k++ {
+			var err error
+			at, err = c.Insert(at, k, 4)
+			if err != nil {
+				t.Fatalf("%s: insert %d: %v", c.Name(), k, err)
+			}
+		}
+		if c.Stats().Evictions == 0 {
+			t.Errorf("%s: no evictions despite 8x capacity inserted", c.Name())
+		}
+		// Recent keys should mostly be present; ancient keys gone.
+		_, hit, _ := c.Get(at, n-2)
+		if !hit {
+			t.Errorf("%s: most recent key evicted", c.Name())
+		}
+		_, hit, _ = c.Get(at, 0)
+		if hit && c.Name() != "conv-setassoc" { // set-assoc can retain by luck
+			t.Errorf("%s: oldest key survived FIFO eviction", c.Name())
+		}
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	for _, c := range allCaches(t) {
+		var at sim.Time
+		at, _ = c.Insert(at, 7, 4)
+		at, _ = c.Insert(at, 7, 4)
+		_, hit, err := c.Get(at, 7)
+		if err != nil || !hit {
+			t.Fatalf("%s: reinserted key missing: %v %v", c.Name(), hit, err)
+		}
+	}
+}
+
+func TestSetAssocSizeValidation(t *testing.T) {
+	sa, _ := NewSetAssoc(convDev(t), 4, 4)
+	if _, err := sa.Insert(0, 1, 3); !errors.Is(err, ErrBadObjectSize) {
+		t.Errorf("wrong-size insert: %v", err)
+	}
+	if _, err := NewSetAssoc(convDev(t), 0, 4); err == nil {
+		t.Error("zero objPages accepted")
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	cb, _ := NewConvBuffered(convDev(t), 16)
+	if _, err := cb.Insert(0, 1, 17); !errors.Is(err, ErrObjectTooLarge) {
+		t.Errorf("oversized buffered insert: %v", err)
+	}
+	zc := NewZNSCache(znsDev(t))
+	if _, err := zc.Insert(0, 1, int(znsDev(t).ZonePages())+1); !errors.Is(err, ErrObjectTooLarge) {
+		t.Errorf("oversized zns insert: %v", err)
+	}
+}
+
+// The §4.1 claim in miniature: the buffered conventional design needs a
+// region of DRAM; set-assoc and ZNS need none — but set-assoc pays for it
+// in write amplification, while ZNS does not.
+func TestDRAMAndWATradeoff(t *testing.T) {
+	sa, _ := NewSetAssoc(convDev(t), 4, 4)
+	cb, _ := NewConvBuffered(convDev(t), 64)
+	zc := NewZNSCache(znsDev(t))
+
+	if cb.DRAMBufferBytes() != 64*4096 {
+		t.Errorf("buffered DRAM = %d", cb.DRAMBufferBytes())
+	}
+	if sa.DRAMBufferBytes() != 0 || zc.DRAMBufferBytes() != 0 {
+		t.Error("set-assoc and zns must need no coalescing DRAM")
+	}
+
+	src := workload.NewSource(1)
+	keys := workload.NewZipf(src, 2000, 0.99)
+	var atSA, atCB, atZC sim.Time
+	for i := 0; i < 6000; i++ {
+		k := keys.Next()
+		var err error
+		if atSA, err = sa.Insert(atSA, k, 4); err != nil {
+			t.Fatal(err)
+		}
+		if atCB, err = cb.Insert(atCB, k, 4); err != nil {
+			t.Fatal(err)
+		}
+		if atZC, err = zc.Insert(atZC, k, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waSA := sa.Counters().WriteAmp()
+	waCB := cb.Counters().WriteAmp()
+	waZC := zc.Counters().WriteAmp()
+	t.Logf("WA: setassoc=%.2f buffered=%.2f zns=%.2f", waSA, waCB, waZC)
+	if waSA <= waCB {
+		t.Errorf("set-assoc WA (%.2f) must exceed buffered WA (%.2f)", waSA, waCB)
+	}
+	if waZC != 1.0 {
+		t.Errorf("zns cache WA = %.2f, want exactly 1 (no device GC)", waZC)
+	}
+}
+
+func TestHitRatioStat(t *testing.T) {
+	s := Stats{Hits: 3, Misses: 1}
+	if s.HitRatio() != 0.75 {
+		t.Errorf("HitRatio = %v", s.HitRatio())
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Error("empty HitRatio must be 0")
+	}
+}
+
+func TestZNSCacheWritableAfterManyCycles(t *testing.T) {
+	zc := NewZNSCache(znsDev(t))
+	var at sim.Time
+	for k := int64(0); k < 10000; k++ {
+		var err error
+		at, err = zc.Insert(at, k, 4)
+		if err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if zc.Counters().WriteAmp() != 1.0 {
+		t.Errorf("WA after many zone cycles = %v", zc.Counters().WriteAmp())
+	}
+	if zc.dev.Resets() == 0 {
+		t.Error("no zone resets happened")
+	}
+}

@@ -1,0 +1,287 @@
+package zkv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"blockhead/internal/ftl"
+	"blockhead/internal/sim"
+	"blockhead/internal/stats"
+)
+
+// TableHandle identifies a stored SSTable blob.
+type TableHandle int64
+
+// Backend is the storage layer under the LSM tree. Implementations place
+// table blobs and the write-ahead log on a device; the LSM logic above is
+// identical for both, so E5's comparison isolates placement and the device
+// interface.
+type Backend interface {
+	// PageSize reports the device page size in bytes.
+	PageSize() int
+	// WriteTable stores blob as a new table. level is a lifetime hint
+	// (LSM level): short-lived L0 data and long-lived deep-level data may
+	// be placed differently.
+	WriteTable(at sim.Time, blob []byte, level int) (TableHandle, sim.Time, error)
+	// ReadAt reads bytes [off, off+n) of a table, page-granular underneath.
+	ReadAt(at sim.Time, h TableHandle, off, n int) (sim.Time, []byte, error)
+	// Delete drops a table, releasing its space.
+	Delete(at sim.Time, h TableHandle) error
+	// AppendWAL persists n bytes of log; ResetWAL truncates the log after
+	// a flush.
+	AppendWAL(at sim.Time, n int) (sim.Time, error)
+	ResetWAL(at sim.Time) error
+	// Counters exposes device-level accounting (write amplification for E5
+	// is Counters().WriteAmp()).
+	Counters() *stats.Counters
+	// Name identifies the backend in reports.
+	Name() string
+}
+
+// Errors shared by backends.
+var (
+	ErrNoSpace     = errors.New("zkv: backend out of space")
+	ErrBadHandle   = errors.New("zkv: unknown table handle")
+	ErrBadReadSpan = errors.New("zkv: read beyond table")
+)
+
+// ---------------------------------------------------------------------------
+// Conventional backend: a flat LBA space on a block SSD.
+
+type extent struct {
+	start int64
+	pages int64
+}
+
+type convTable struct {
+	ext  extent
+	size int
+}
+
+// AllocPolicy selects how the conventional backend places table extents.
+type AllocPolicy int
+
+const (
+	// FirstFit packs tables tightly — an idealized, fragmentation-free
+	// filesystem (the kindest case for the conventional device).
+	FirstFit AllocPolicy = iota
+	// ScatterFit spreads allocations across the free space the way general
+	// filesystems (ext4/XFS) do to leave room for file growth. Unrelated
+	// tables end up sharing erasure blocks, which is what drives the
+	// paper's 5x device write amplification for RocksDB on conventional
+	// SSDs (§2.4).
+	ScatterFit
+)
+
+// ConvBackend places tables on a conventional FTL device with an extent
+// allocator, exactly as a filesystem over a block SSD would. Deleted
+// tables are trimmed (if the device supports it), but their pages still
+// force device GC to relocate neighbors — the "block interface tax" of the
+// paper's title argument.
+type ConvBackend struct {
+	dev      *ftl.Device
+	policy   AllocPolicy
+	rngState uint64
+	tables   map[TableHandle]convTable
+	free     []extent // sorted by start
+	next     TableHandle
+	walBase  int64
+	walPages int64
+	walOff   int64 // bytes appended since last reset
+}
+
+// NewConvBackend wraps a conventional device, reserving walPages pages at
+// the top of the LBA space as the WAL ring.
+func NewConvBackend(dev *ftl.Device, walPages int64) (*ConvBackend, error) {
+	if walPages < 1 || walPages >= dev.CapacityPages() {
+		return nil, fmt.Errorf("zkv: walPages %d out of range", walPages)
+	}
+	dataPages := dev.CapacityPages() - walPages
+	return &ConvBackend{
+		dev:      dev,
+		rngState: 0x9e3779b97f4a7c15,
+		tables:   make(map[TableHandle]convTable),
+		free:     []extent{{start: 0, pages: dataPages}},
+		walBase:  dataPages,
+		walPages: walPages,
+	}, nil
+}
+
+// SetAllocPolicy switches the extent allocation policy (default FirstFit).
+func (b *ConvBackend) SetAllocPolicy(p AllocPolicy) { b.policy = p }
+
+// Name implements Backend.
+func (b *ConvBackend) Name() string { return "conventional" }
+
+// PageSize implements Backend.
+func (b *ConvBackend) PageSize() int { return b.dev.PageSize() }
+
+// Counters implements Backend.
+func (b *ConvBackend) Counters() *stats.Counters { return b.dev.Counters() }
+
+// Device exposes the underlying FTL device.
+func (b *ConvBackend) Device() *ftl.Device { return b.dev }
+
+func (b *ConvBackend) alloc(pages int64) (int64, bool) {
+	fits := func(i int) bool { return b.free[i].pages >= pages }
+	take := func(i int) int64 {
+		start := b.free[i].start
+		b.free[i].start += pages
+		b.free[i].pages -= pages
+		if b.free[i].pages == 0 {
+			b.free = append(b.free[:i], b.free[i+1:]...)
+		}
+		return start
+	}
+	if b.policy == ScatterFit {
+		// Pick uniformly among fitting extents (xorshift, deterministic).
+		var candidates []int
+		for i := range b.free {
+			if fits(i) {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			return 0, false
+		}
+		b.rngState ^= b.rngState << 13
+		b.rngState ^= b.rngState >> 7
+		b.rngState ^= b.rngState << 17
+		return take(candidates[b.rngState%uint64(len(candidates))]), true
+	}
+	for i := range b.free {
+		if fits(i) {
+			return take(i), true
+		}
+	}
+	return 0, false
+}
+
+func (b *ConvBackend) freeExtent(e extent) {
+	i := sort.Search(len(b.free), func(i int) bool { return b.free[i].start >= e.start })
+	b.free = append(b.free, extent{})
+	copy(b.free[i+1:], b.free[i:])
+	b.free[i] = e
+	// Merge with neighbors.
+	if i+1 < len(b.free) && b.free[i].start+b.free[i].pages == b.free[i+1].start {
+		b.free[i].pages += b.free[i+1].pages
+		b.free = append(b.free[:i+1], b.free[i+2:]...)
+	}
+	if i > 0 && b.free[i-1].start+b.free[i-1].pages == b.free[i].start {
+		b.free[i-1].pages += b.free[i].pages
+		b.free = append(b.free[:i], b.free[i+1:]...)
+	}
+}
+
+// WriteTable implements Backend. The level hint is ignored: a block device
+// has no way to use it (§4.1's information barrier).
+func (b *ConvBackend) WriteTable(at sim.Time, blob []byte, level int) (TableHandle, sim.Time, error) {
+	ps := int64(b.PageSize())
+	pages := (int64(len(blob)) + ps - 1) / ps
+	start, ok := b.alloc(pages)
+	if !ok {
+		return 0, at, ErrNoSpace
+	}
+	done := at
+	for p := int64(0); p < pages; p++ {
+		lo := p * ps
+		hi := lo + ps
+		if hi > int64(len(blob)) {
+			hi = int64(len(blob))
+		}
+		d, err := b.dev.WritePage(at, start+p, blob[lo:hi])
+		if err != nil {
+			return 0, at, err
+		}
+		done = sim.Max(done, d)
+	}
+	h := b.next
+	b.next++
+	b.tables[h] = convTable{ext: extent{start: start, pages: pages}, size: len(blob)}
+	return h, done, nil
+}
+
+// ReadAt implements Backend.
+func (b *ConvBackend) ReadAt(at sim.Time, h TableHandle, off, n int) (sim.Time, []byte, error) {
+	t, ok := b.tables[h]
+	if !ok {
+		return at, nil, ErrBadHandle
+	}
+	if off < 0 || n < 0 || off+n > t.size {
+		return at, nil, ErrBadReadSpan
+	}
+	ps := int64(b.PageSize())
+	out := make([]byte, 0, n)
+	done := at
+	for pos := int64(off); pos < int64(off+n); {
+		page := pos / ps
+		inPage := pos % ps
+		d, data, err := b.dev.ReadPage(at, t.ext.start+page)
+		if err != nil {
+			return at, nil, err
+		}
+		chunk := padTo(data, int(ps))
+		take := ps - inPage
+		if rem := int64(off+n) - pos; take > rem {
+			take = rem
+		}
+		out = append(out, chunk[inPage:inPage+take]...)
+		pos += take
+		done = sim.Max(done, d)
+	}
+	return done, out, nil
+}
+
+// Delete implements Backend: trim the extent and return it to the free
+// list.
+func (b *ConvBackend) Delete(at sim.Time, h TableHandle) error {
+	t, ok := b.tables[h]
+	if !ok {
+		return ErrBadHandle
+	}
+	if err := b.dev.Trim(at, t.ext.start, t.ext.pages); err != nil {
+		return err
+	}
+	delete(b.tables, h)
+	b.freeExtent(t.ext)
+	return nil
+}
+
+// AppendWAL implements Backend: commits rewrite the WAL tail page in place
+// (a random overwrite the FTL absorbs), advancing through a ring of
+// walPages.
+func (b *ConvBackend) AppendWAL(at sim.Time, n int) (sim.Time, error) {
+	if n <= 0 {
+		return at, nil
+	}
+	ps := int64(b.PageSize())
+	first := b.walOff / ps
+	last := (b.walOff + int64(n) - 1) / ps
+	done := at
+	for p := first; p <= last; p++ {
+		d, err := b.dev.WritePage(at, b.walBase+p%b.walPages, nil)
+		if err != nil {
+			return at, err
+		}
+		done = sim.Max(done, d)
+	}
+	b.walOff += int64(n)
+	return done, nil
+}
+
+// ResetWAL implements Backend.
+func (b *ConvBackend) ResetWAL(at sim.Time) error {
+	b.walOff = 0
+	return b.dev.Trim(at, b.walBase, b.walPages)
+}
+
+// padTo right-pads data with zeros to n bytes.
+func padTo(data []byte, n int) []byte {
+	if len(data) >= n {
+		return data[:n]
+	}
+	out := make([]byte, n)
+	copy(out, data)
+	return out
+}

@@ -1,0 +1,130 @@
+package zkv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"blockhead/internal/sim"
+)
+
+func TestScanBasic(t *testing.T) {
+	db := Open(bigZNSBackend(t), testOpts())
+	var at sim.Time
+	for i := 0; i < 100; i++ {
+		at, _ = db.Put(at, key(i), value(fmt.Sprintf("v%d", i)))
+	}
+	at, _ = db.Flush(at)
+	// Range [20, 30).
+	var got []string
+	_, err := db.Scan(at, key(20), key(30), func(k, v []byte) bool {
+		got = append(got, string(v))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != "v20" || got[9] != "v29" {
+		t.Fatalf("scan [20,30) = %v", got)
+	}
+	// Open-ended scan covers everything from start.
+	n := 0
+	db.Scan(at, key(90), nil, func(k, v []byte) bool { n++; return true })
+	if n != 10 {
+		t.Errorf("open-ended scan from 90: %d entries, want 10", n)
+	}
+	// Early stop.
+	n = 0
+	db.Scan(at, key(0), nil, func(k, v []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early-stop scan: %d entries, want 5", n)
+	}
+}
+
+func TestScanNewestWinsAndTombstones(t *testing.T) {
+	db := Open(bigZNSBackend(t), testOpts())
+	var at sim.Time
+	at, _ = db.Put(at, key(1), value("old"))
+	at, _ = db.Put(at, key(2), value("dead"))
+	at, _ = db.Flush(at) // both now in a table
+	at, _ = db.Put(at, key(1), value("new"))
+	at, _ = db.Delete(at, key(2)) // tombstone in memtable shadows the table
+	got := map[string]string{}
+	_, err := db.Scan(at, key(0), key(10), func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[string(key(1))] != "new" {
+		t.Fatalf("scan = %v; want only key 1 -> new", got)
+	}
+}
+
+// Model check: Scan must agree with a sorted map across heavy churn on
+// both backends.
+func TestScanModelCheck(t *testing.T) {
+	for name, b := range dbBackends(t) {
+		db := Open(b, testOpts())
+		model := map[string]string{}
+		rng := rand.New(rand.NewSource(11))
+		var at sim.Time
+		for i := 0; i < 6000; i++ {
+			k := key(rng.Intn(800))
+			if rng.Intn(8) == 0 {
+				at, _ = db.Delete(at, k)
+				delete(model, string(k))
+			} else {
+				v := fmt.Sprintf("v%d", i)
+				at, _ = db.Put(at, k, value(v))
+				model[string(k)] = v
+			}
+		}
+		// Full scan.
+		var keys []string
+		got := map[string]string{}
+		_, err := db.Scan(at, key(0), nil, func(k, v []byte) bool {
+			keys = append(keys, string(k))
+			got[string(k)] = string(v)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Fatalf("%s: scan out of order", name)
+		}
+		if len(got) != len(model) {
+			t.Fatalf("%s: scan saw %d keys, model has %d", name, len(got), len(model))
+		}
+		for k, v := range model {
+			if got[k] != v {
+				t.Fatalf("%s: key %q = %q, want %q", name, k, got[k], v)
+			}
+		}
+		// Sub-range scan agrees with a filtered model.
+		lo, hi := key(200), key(400)
+		want := 0
+		for k := range model {
+			if k >= string(lo) && k < string(hi) {
+				want++
+			}
+		}
+		n := 0
+		db.Scan(at, lo, hi, func(k, v []byte) bool { n++; return true })
+		if n != want {
+			t.Fatalf("%s: range scan saw %d, want %d", name, n, want)
+		}
+	}
+}
+
+func TestScanEmptyDB(t *testing.T) {
+	db := Open(bigZNSBackend(t), testOpts())
+	n := 0
+	_, err := db.Scan(0, key(0), nil, func(k, v []byte) bool { n++; return true })
+	if err != nil || n != 0 {
+		t.Errorf("empty scan: n=%d err=%v", n, err)
+	}
+}

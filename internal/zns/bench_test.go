@@ -1,0 +1,71 @@
+package zns
+
+import (
+	"testing"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+)
+
+func benchDev(b *testing.B) *Device {
+	b.Helper()
+	d, err := New(Config{
+		Geom: flash.Geometry{Channels: 8, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerLUN: 64, PagesPerBlock: 256, PageSize: 4096},
+		Lat:        flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkAppend measures the zone-append hot path including zone resets
+// when the log wraps.
+func BenchmarkAppend(b *testing.B) {
+	d := benchDev(b)
+	var at sim.Time
+	zone := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.WP(zone) >= d.WritableCap(zone) {
+			done, err := d.Reset(at, zone)
+			if err != nil {
+				b.Fatal(err)
+			}
+			at = done
+			zone = (zone + 1) % d.NumZones()
+		}
+		_, done, err := d.Append(at, zone, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = done
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	d := benchDev(b)
+	lba, at, err := d.Append(0, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, _, err = d.Read(at, lba)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZoneReport(b *testing.B) {
+	d := benchDev(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(d.ZoneReport()) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}

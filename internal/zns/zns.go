@@ -1,0 +1,547 @@
+// Package zns implements a Zoned Namespaces SSD as the paper describes it
+// (§2.1, "Zoned Namespaces SSDs"): the address space is partitioned into
+// zones that behave like erasure blocks — writable only sequentially at a
+// per-zone write pointer, erased wholesale by a zone reset. Zones move
+// through six states (empty, open, closed, full, read-only, offline), only a
+// limited number may be active at once, and flash cell failures are handled
+// by shrinking a zone after reset or taking it offline.
+//
+// The device-side FTL is deliberately thin: it maps zones to erasure blocks
+// (coarse-grained translation, needing ~4 bytes of DRAM per block instead of
+// per page, §2.2) and does no garbage collection — reclamation is the
+// host's job, which is precisely the paper's point.
+//
+// Two commands beyond classic zoned writes are modeled because the paper
+// leans on them:
+//
+//   - Zone append (§4.2): the device serializes concurrent appends to one
+//     zone, eliminating host-side write-pointer lock contention.
+//   - Simple copy (§2.3): controller-managed copy of valid data into a
+//     destination zone without consuming PCIe bandwidth.
+package zns
+
+import (
+	"errors"
+	"fmt"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+	"blockhead/internal/stats"
+)
+
+// ZoneState is the state machine from the ZNS specification (§2.1).
+type ZoneState int
+
+const (
+	Empty  ZoneState = iota
+	Open             // implicitly or explicitly opened; consumes open + active resources
+	Closed           // writable after reopen; consumes active resources only
+	Full
+	ReadOnly
+	Offline
+)
+
+// String implements fmt.Stringer.
+func (s ZoneState) String() string {
+	switch s {
+	case Empty:
+		return "empty"
+	case Open:
+		return "open"
+	case Closed:
+		return "closed"
+	case Full:
+		return "full"
+	case ReadOnly:
+		return "read-only"
+	case Offline:
+		return "offline"
+	default:
+		return fmt.Sprintf("ZoneState(%d)", int(s))
+	}
+}
+
+// Errors returned by the device.
+var (
+	ErrTooManyActive = errors.New("zns: active zone limit reached")
+	ErrTooManyOpen   = errors.New("zns: open zone limit reached")
+	ErrNotWritePtr   = errors.New("zns: write LBA does not match the zone write pointer")
+	ErrZoneFull      = errors.New("zns: zone is full")
+	ErrBadState      = errors.New("zns: operation invalid in current zone state")
+	ErrUnwritten     = errors.New("zns: read beyond the write pointer")
+	ErrOutOfRange    = errors.New("zns: address out of range")
+	ErrOffline       = errors.New("zns: zone is offline")
+)
+
+// Config parameterizes the device.
+type Config struct {
+	Geom flash.Geometry
+	Lat  flash.Latencies
+
+	// ZoneBlocks is the number of erasure blocks striped into one zone.
+	// Blocks are interleaved across LUNs, so a zone with ZoneBlocks = W has
+	// W-way internal write parallelism. Zones are "at least as large as
+	// erasure blocks" (§2.1); default 4.
+	ZoneBlocks int
+
+	// MaxActive bounds open+closed zones, the scarce per-zone write-buffer
+	// resource §2.1 describes (the paper's example device supports 14).
+	// 0 = unlimited.
+	MaxActive int
+
+	// MaxOpen bounds open zones; 0 = same as MaxActive.
+	MaxOpen int
+
+	// StoreData keeps written payloads so reads can return them.
+	StoreData bool
+
+	// Endurance is the per-block erase budget; 0 = unlimited. Worn-out
+	// blocks shrink their zone at the next reset (§2.1).
+	Endurance uint32
+}
+
+type zone struct {
+	state  ZoneState
+	blocks []int // stripe of erasure blocks; shrinks as blocks wear out
+	wp     int64 // pages written, in [0, cap]
+	cap    int64 // writable capacity in pages (shrinks with lost blocks)
+}
+
+// Device is a ZNS SSD.
+type Device struct {
+	cfg       Config
+	chip      *flash.Device
+	zones     []zone
+	zonePages int64 // nominal zone size (fixed LBA stride)
+
+	active int
+	open   int
+
+	data map[int64][]byte // lba -> payload
+
+	counters stats.Counters
+	resets   uint64
+	appends  uint64
+}
+
+// New builds a device. ZoneBlocks defaults to 4; MaxOpen defaults to
+// MaxActive.
+func New(cfg Config) (*Device, error) {
+	if err := cfg.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ZoneBlocks == 0 {
+		cfg.ZoneBlocks = 4
+	}
+	if cfg.ZoneBlocks < 1 || cfg.ZoneBlocks > cfg.Geom.TotalBlocks() {
+		return nil, fmt.Errorf("zns: ZoneBlocks %d out of range", cfg.ZoneBlocks)
+	}
+	if cfg.MaxOpen == 0 {
+		cfg.MaxOpen = cfg.MaxActive
+	}
+	if cfg.MaxActive != 0 && cfg.MaxOpen > cfg.MaxActive {
+		return nil, fmt.Errorf("zns: MaxOpen %d exceeds MaxActive %d", cfg.MaxOpen, cfg.MaxActive)
+	}
+	nz := cfg.Geom.TotalBlocks() / cfg.ZoneBlocks
+	if nz == 0 {
+		return nil, fmt.Errorf("zns: geometry too small for %d-block zones", cfg.ZoneBlocks)
+	}
+	chip := flash.New(cfg.Geom, cfg.Lat)
+	chip.Endurance = cfg.Endurance
+
+	d := &Device{
+		cfg:       cfg,
+		chip:      chip,
+		zones:     make([]zone, nz),
+		zonePages: int64(cfg.ZoneBlocks) * int64(cfg.Geom.PagesPerBlock),
+	}
+	for z := range d.zones {
+		blocks := make([]int, cfg.ZoneBlocks)
+		for i := range blocks {
+			blocks[i] = z*cfg.ZoneBlocks + i
+		}
+		d.zones[z] = zone{state: Empty, blocks: blocks, cap: d.zonePages}
+	}
+	if cfg.StoreData {
+		d.data = make(map[int64][]byte)
+	}
+	return d, nil
+}
+
+// NumZones reports the number of zones.
+func (d *Device) NumZones() int { return len(d.zones) }
+
+// ZonePages reports the nominal zone size in pages (the LBA stride between
+// zone starts). Individual zones may have a smaller writable capacity after
+// cell failures; see WritableCap.
+func (d *Device) ZonePages() int64 { return d.zonePages }
+
+// PageSize reports the page size in bytes.
+func (d *Device) PageSize() int { return d.cfg.Geom.PageSize }
+
+// MaxActive reports the active-zone limit (0 = unlimited).
+func (d *Device) MaxActive() int { return d.cfg.MaxActive }
+
+// MaxOpen reports the open-zone limit (0 = unlimited).
+func (d *Device) MaxOpen() int { return d.cfg.MaxOpen }
+
+// ActiveZones reports the current number of open+closed zones.
+func (d *Device) ActiveZones() int { return d.active }
+
+// OpenZones reports the current number of open zones.
+func (d *Device) OpenZones() int { return d.open }
+
+// State reports a zone's state.
+func (d *Device) State(z int) ZoneState { return d.zones[z].state }
+
+// WP reports a zone's write pointer as a zone-relative page offset.
+func (d *Device) WP(z int) int64 { return d.zones[z].wp }
+
+// WritableCap reports a zone's current writable capacity in pages.
+func (d *Device) WritableCap(z int) int64 { return d.zones[z].cap }
+
+// Counters returns the accounting counters.
+func (d *Device) Counters() *stats.Counters { return &d.counters }
+
+// Resets reports how many zone resets have completed.
+func (d *Device) Resets() uint64 { return d.resets }
+
+// Appends reports how many zone-append commands have completed.
+func (d *Device) Appends() uint64 { return d.appends }
+
+// Flash exposes the underlying chip for wear inspection.
+func (d *Device) Flash() *flash.Device { return d.chip }
+
+// LBA composes a global LBA from zone and zone-relative offset.
+func (d *Device) LBA(z int, offset int64) int64 { return int64(z)*d.zonePages + offset }
+
+// ZoneOf decomposes a global LBA.
+func (d *Device) ZoneOf(lba int64) (z int, offset int64) {
+	return int(lba / d.zonePages), lba % d.zonePages
+}
+
+// DRAMFootprintBytes reports the on-board DRAM of the thin zone FTL:
+// 4 bytes per erasure block for the zone-to-block map (§2.2's estimate)
+// plus 16 bytes of state per zone.
+func (d *Device) DRAMFootprintBytes() int64 {
+	return 4*int64(d.cfg.Geom.TotalBlocks()) + 16*int64(len(d.zones))
+}
+
+// addr maps a zone-relative page offset to flash. Offsets stripe round-robin
+// across the zone's blocks, so sequential zone writes exploit the stripe's
+// LUN parallelism while each block is still programmed sequentially.
+func (d *Device) addr(z int, offset int64) (block, page int) {
+	zn := &d.zones[z]
+	w := int64(len(zn.blocks))
+	return zn.blocks[offset%w], int(offset / w)
+}
+
+// checkZone validates a zone index.
+func (d *Device) checkZone(z int) error {
+	if z < 0 || z >= len(d.zones) {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// activate transitions a zone toward Open, enforcing the open/active limits.
+func (d *Device) activate(z int) error {
+	zn := &d.zones[z]
+	switch zn.state {
+	case Open:
+		return nil
+	case Closed:
+		if d.cfg.MaxOpen != 0 && d.open >= d.cfg.MaxOpen {
+			return ErrTooManyOpen
+		}
+		d.open++
+		zn.state = Open
+		return nil
+	case Empty:
+		if d.cfg.MaxActive != 0 && d.active >= d.cfg.MaxActive {
+			return ErrTooManyActive
+		}
+		if d.cfg.MaxOpen != 0 && d.open >= d.cfg.MaxOpen {
+			return ErrTooManyOpen
+		}
+		d.active++
+		d.open++
+		zn.state = Open
+		return nil
+	case Offline:
+		return ErrOffline
+	default:
+		return ErrBadState
+	}
+}
+
+// deactivate releases resources when a zone leaves Open/Closed.
+func (d *Device) release(zn *zone) {
+	switch zn.state {
+	case Open:
+		d.open--
+		d.active--
+	case Closed:
+		d.active--
+	}
+}
+
+// Open explicitly opens a zone.
+func (d *Device) Open(at sim.Time, z int) error {
+	if err := d.checkZone(z); err != nil {
+		return err
+	}
+	return d.activate(z)
+}
+
+// Close transitions an open zone to Closed, releasing its open-zone slot
+// but keeping its active (write-buffer) resources.
+func (d *Device) Close(at sim.Time, z int) error {
+	if err := d.checkZone(z); err != nil {
+		return err
+	}
+	zn := &d.zones[z]
+	if zn.state != Open {
+		return ErrBadState
+	}
+	zn.state = Closed
+	d.open--
+	return nil
+}
+
+// Finish moves the write pointer to the end of the zone and marks it Full,
+// releasing all its active resources. No flash work is modeled (real
+// devices may pad the remainder; we track only the state change).
+func (d *Device) Finish(at sim.Time, z int) error {
+	if err := d.checkZone(z); err != nil {
+		return err
+	}
+	zn := &d.zones[z]
+	switch zn.state {
+	case Open, Closed, Empty:
+		if zn.state == Empty {
+			// Finishing an empty zone is legal per spec; it becomes Full
+			// without ever consuming active resources.
+			zn.state = Full
+			zn.wp = zn.cap
+			return nil
+		}
+		d.release(zn)
+		zn.state = Full
+		zn.wp = zn.cap
+		return nil
+	default:
+		return ErrBadState
+	}
+}
+
+// Reset erases the zone's blocks and returns it to Empty. Blocks that
+// exceed their erase endurance are dropped from the stripe, shrinking the
+// zone's writable capacity (§2.1); if no blocks survive, the zone goes
+// Offline. Erases on distinct LUNs proceed in parallel.
+func (d *Device) Reset(at sim.Time, z int) (sim.Time, error) {
+	if err := d.checkZone(z); err != nil {
+		return at, err
+	}
+	zn := &d.zones[z]
+	switch zn.state {
+	case Offline:
+		return at, ErrOffline
+	case ReadOnly:
+		return at, ErrBadState
+	}
+	d.release(zn)
+
+	done := at
+	survivors := zn.blocks[:0]
+	for _, b := range zn.blocks {
+		if d.chip.WrittenPages(b) == 0 && !d.chip.IsBad(b) {
+			survivors = append(survivors, b)
+			continue // never programmed since last erase; nothing to do
+		}
+		eDone, err := d.chip.EraseBlock(at, b)
+		if err != nil {
+			continue // worn out: drop from the stripe
+		}
+		d.counters.BlockErases++
+		survivors = append(survivors, b)
+		if eDone > done {
+			done = eDone
+		}
+	}
+	zn.blocks = survivors
+	if d.data != nil {
+		base := d.LBA(z, 0)
+		for o := int64(0); o < zn.wp; o++ {
+			delete(d.data, base+o)
+		}
+	}
+	zn.wp = 0
+	zn.cap = int64(len(zn.blocks)) * int64(d.cfg.Geom.PagesPerBlock)
+	if len(zn.blocks) == 0 {
+		zn.state = Offline
+		return done, nil
+	}
+	zn.state = Empty
+	d.resets++
+	return done, nil
+}
+
+// write programs one page at the zone's write pointer.
+func (d *Device) write(at sim.Time, z int, data []byte) (lba int64, done sim.Time, err error) {
+	zn := &d.zones[z]
+	if zn.wp >= zn.cap {
+		return 0, at, ErrZoneFull
+	}
+	if err := d.activate(z); err != nil {
+		return 0, at, err
+	}
+	offset := zn.wp
+	block, page := d.addr(z, offset)
+	done, err = d.chip.ProgramPage(at, block, page)
+	if err != nil {
+		return 0, at, err
+	}
+	zn.wp++
+	if zn.wp == zn.cap {
+		d.release(zn)
+		zn.state = Full
+	}
+	lba = d.LBA(z, offset)
+	if d.data != nil && data != nil {
+		d.data[lba] = data
+	}
+	d.counters.HostWritePages++
+	d.counters.FlashProgramPages++
+	d.counters.PCIeBytes += uint64(d.cfg.Geom.PageSize)
+	return lba, done, nil
+}
+
+// Write writes one page at lba, which must equal the zone's write pointer —
+// the spec rule that forces multi-writer hosts to serialize (§4.2). data
+// may be nil for timing-only use.
+func (d *Device) Write(at sim.Time, lba int64, data []byte) (sim.Time, error) {
+	if lba < 0 || lba >= int64(len(d.zones))*d.zonePages {
+		return at, ErrOutOfRange
+	}
+	z, offset := d.ZoneOf(lba)
+	if offset != d.zones[z].wp {
+		return at, ErrNotWritePtr
+	}
+	_, done, err := d.write(at, z, data)
+	return done, err
+}
+
+// Append writes one page at the zone's current write pointer, wherever that
+// is, and returns the assigned LBA. The device serializes concurrent
+// appends (§4.2's fix for write-pointer lock contention), so callers need
+// no coordination.
+func (d *Device) Append(at sim.Time, z int, data []byte) (lba int64, done sim.Time, err error) {
+	if err := d.checkZone(z); err != nil {
+		return 0, at, err
+	}
+	lba, done, err = d.write(at, z, data)
+	if err == nil {
+		d.appends++
+	}
+	return lba, done, err
+}
+
+// Read reads one page at lba, which must be below the zone's write pointer.
+func (d *Device) Read(at sim.Time, lba int64) (done sim.Time, data []byte, err error) {
+	if lba < 0 || lba >= int64(len(d.zones))*d.zonePages {
+		return at, nil, ErrOutOfRange
+	}
+	z, offset := d.ZoneOf(lba)
+	zn := &d.zones[z]
+	if zn.state == Offline {
+		return at, nil, ErrOffline
+	}
+	if offset >= zn.wp {
+		return at, nil, ErrUnwritten
+	}
+	block, page := d.addr(z, offset)
+	done, err = d.chip.ReadPage(at, block, page)
+	if err != nil {
+		return at, nil, err
+	}
+	d.counters.HostReadPages++
+	d.counters.FlashReadPages++
+	d.counters.PCIeBytes += uint64(d.cfg.Geom.PageSize)
+	if d.data != nil {
+		data = d.data[lba]
+	}
+	return done, data, nil
+}
+
+// SimpleCopy copies the pages at srcLBAs to the write pointer of dstZone
+// entirely inside the device (§2.3): flash reads and programs happen, data
+// crosses the channel buses, but no bytes cross the host interface. It
+// returns the first destination LBA.
+func (d *Device) SimpleCopy(at sim.Time, srcLBAs []int64, dstZone int) (firstLBA int64, done sim.Time, err error) {
+	if err := d.checkZone(dstZone); err != nil {
+		return 0, at, err
+	}
+	zn := &d.zones[dstZone]
+	if zn.cap-zn.wp < int64(len(srcLBAs)) {
+		return 0, at, ErrZoneFull
+	}
+	done = at
+	firstLBA = -1
+	for _, src := range srcLBAs {
+		if src < 0 || src >= int64(len(d.zones))*d.zonePages {
+			return 0, at, ErrOutOfRange
+		}
+		sz, so := d.ZoneOf(src)
+		if so >= d.zones[sz].wp {
+			return 0, at, ErrUnwritten
+		}
+		if err := d.activate(dstZone); err != nil {
+			return 0, at, err
+		}
+		sb, sp := d.addr(sz, so)
+		db, dp := d.addr(dstZone, zn.wp)
+		cDone, cErr := d.chip.CopyPage(at, sb, sp, db, dp)
+		if cErr != nil {
+			return 0, at, cErr
+		}
+		dst := d.LBA(dstZone, zn.wp)
+		if firstLBA < 0 {
+			firstLBA = dst
+		}
+		zn.wp++
+		if zn.wp == zn.cap {
+			d.release(zn)
+			zn.state = Full
+		}
+		if d.data != nil {
+			if payload, ok := d.data[src]; ok {
+				d.data[dst] = payload
+			}
+		}
+		d.counters.FlashReadPages++
+		d.counters.FlashProgramPages++
+		d.counters.GCCopyPages++
+		if cDone > done {
+			done = cDone
+		}
+	}
+	return firstLBA, done, nil
+}
+
+// ZoneInfo is one row of a zone report (the blkzone-style dump).
+type ZoneInfo struct {
+	Zone  int
+	State ZoneState
+	WP    int64
+	Cap   int64
+}
+
+// ZoneReport lists the state of every zone.
+func (d *Device) ZoneReport() []ZoneInfo {
+	out := make([]ZoneInfo, len(d.zones))
+	for i := range d.zones {
+		out[i] = ZoneInfo{Zone: i, State: d.zones[i].state, WP: d.zones[i].wp, Cap: d.zones[i].cap}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+// Package zonefile exposes each zone of a ZNS device as a file, following
+// the ZoneFS model the paper cites among the interface options applications
+// must choose between (§4.1): "ZoneFS treats zones as files with the same
+// restrictions as zones themselves". Files are append-only, readable at any
+// byte offset below the write pointer, and truncatable only to zero (which
+// resets the zone).
+//
+// This is the thinnest of the interface tiers — above raw zones, below a
+// full POSIX filesystem — and the examples use it to show the usability /
+// control trade §4.1 asks about.
+package zonefile
+
+import (
+	"errors"
+	"fmt"
+
+	"blockhead/internal/sim"
+	"blockhead/internal/zns"
+)
+
+// Errors returned by the filesystem.
+var (
+	ErrReadPastEOF  = errors.New("zonefile: read beyond end of file")
+	ErrBadTruncate  = errors.New("zonefile: zones only truncate to zero")
+	ErrFileFull     = errors.New("zonefile: zone capacity exhausted")
+	ErrBadFileIndex = errors.New("zonefile: no such file")
+)
+
+// FS is a zones-as-files view of a ZNS device.
+type FS struct {
+	dev *zns.Device
+	// sizes tracks logical byte lengths, which may not be page-aligned.
+	sizes []int64
+}
+
+// New builds a filesystem over dev. Like ZoneFS, it has a fixed file count
+// (one per zone) and no directories, metadata, or create/delete.
+func New(dev *zns.Device) *FS {
+	return &FS{dev: dev, sizes: make([]int64, dev.NumZones())}
+}
+
+// NumFiles reports the file count (== zone count).
+func (fs *FS) NumFiles() int { return fs.dev.NumZones() }
+
+// Open returns the file for zone i.
+func (fs *FS) Open(i int) (*File, error) {
+	if i < 0 || i >= fs.dev.NumZones() {
+		return nil, ErrBadFileIndex
+	}
+	return &File{fs: fs, zone: i}, nil
+}
+
+// File is one zone viewed as an append-only file.
+type File struct {
+	fs   *FS
+	zone int
+}
+
+// Zone reports the underlying zone index.
+func (f *File) Zone() int { return f.zone }
+
+// Size reports the file's logical length in bytes.
+func (f *File) Size() int64 { return f.fs.sizes[f.zone] }
+
+// MaxSize reports the file's maximum length (the zone's writable capacity).
+func (f *File) MaxSize() int64 {
+	return f.fs.dev.WritableCap(f.zone) * int64(f.fs.dev.PageSize())
+}
+
+// Append writes data at the end of the file and returns the new size.
+// Data is chunked into pages; the final partial page occupies a full flash
+// page (the internal-fragmentation cost of the zone abstraction).
+func (f *File) Append(at sim.Time, data []byte) (newSize int64, done sim.Time, err error) {
+	ps := int64(f.fs.dev.PageSize())
+	size := f.fs.sizes[f.zone]
+	if size%ps != 0 {
+		// The previous append ended mid-page; that page is already
+		// programmed and flash cannot rewrite it. Like ZoneFS, we only
+		// support block-aligned continuation: round the file up first.
+		size = (size/ps + 1) * ps
+	}
+	needPages := (int64(len(data)) + ps - 1) / ps
+	if size/ps+needPages > f.fs.dev.WritableCap(f.zone) {
+		return f.fs.sizes[f.zone], at, ErrFileFull
+	}
+	done = at
+	for p := int64(0); p < needPages; p++ {
+		lo := p * ps
+		hi := lo + ps
+		if hi > int64(len(data)) {
+			hi = int64(len(data))
+		}
+		_, d, err := f.fs.dev.Append(at, f.zone, data[lo:hi])
+		if err != nil {
+			return f.fs.sizes[f.zone], at, err
+		}
+		done = sim.Max(done, d)
+	}
+	f.fs.sizes[f.zone] = size + int64(len(data))
+	return f.fs.sizes[f.zone], done, nil
+}
+
+// ReadAt reads len(buf) bytes at byte offset off. Short reads are errors,
+// matching the strictness of the zone interface.
+func (f *File) ReadAt(at sim.Time, buf []byte, off int64) (done sim.Time, err error) {
+	if off < 0 || off+int64(len(buf)) > f.fs.sizes[f.zone] {
+		return at, ErrReadPastEOF
+	}
+	ps := int64(f.fs.dev.PageSize())
+	done = at
+	for pos := int64(0); pos < int64(len(buf)); {
+		page := (off + pos) / ps
+		inPage := (off + pos) % ps
+		d, data, err := f.fs.dev.Read(at, f.fs.dev.LBA(f.zone, page))
+		if err != nil {
+			return at, fmt.Errorf("zonefile: read page %d: %w", page, err)
+		}
+		n := copy(buf[pos:], padTo(data, int(ps))[inPage:])
+		pos += int64(n)
+		done = sim.Max(done, d)
+	}
+	return done, nil
+}
+
+// Truncate shrinks the file. Only size 0 is supported (zone reset), per
+// the ZoneFS rule.
+func (f *File) Truncate(at sim.Time, size int64) (sim.Time, error) {
+	if size != 0 {
+		return at, ErrBadTruncate
+	}
+	done, err := f.fs.dev.Reset(at, f.zone)
+	if err != nil {
+		return at, err
+	}
+	f.fs.sizes[f.zone] = 0
+	return done, nil
+}
+
+// padTo right-pads data with zeros to n bytes (pages written through other
+// interfaces, or with nil payloads, read back as zeros).
+func padTo(data []byte, n int) []byte {
+	if len(data) >= n {
+		return data[:n]
+	}
+	out := make([]byte, n)
+	copy(out, data)
+	return out
+}

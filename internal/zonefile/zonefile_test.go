@@ -1,0 +1,191 @@
+package zonefile
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+	"blockhead/internal/zns"
+)
+
+func testFS(t *testing.T) *FS {
+	t.Helper()
+	dev, err := zns.New(zns.Config{
+		Geom: flash.Geometry{Channels: 2, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerLUN: 4, PagesPerBlock: 8, PageSize: 64},
+		Lat:        flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 2, // 4 zones of 16 pages, 64-byte pages
+		StoreData:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(dev)
+}
+
+func TestOpenBounds(t *testing.T) {
+	fs := testFS(t)
+	if fs.NumFiles() != 4 {
+		t.Errorf("NumFiles = %d", fs.NumFiles())
+	}
+	if _, err := fs.Open(-1); !errors.Is(err, ErrBadFileIndex) {
+		t.Error("negative index accepted")
+	}
+	if _, err := fs.Open(4); !errors.Is(err, ErrBadFileIndex) {
+		t.Error("out-of-range index accepted")
+	}
+	f, err := fs.Open(2)
+	if err != nil || f.Zone() != 2 {
+		t.Errorf("Open(2): %v zone=%d", err, f.Zone())
+	}
+}
+
+func TestAppendRead(t *testing.T) {
+	fs := testFS(t)
+	f, _ := fs.Open(0)
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	size, at, err := f.Append(0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(msg)) {
+		t.Errorf("size = %d, want %d", size, len(msg))
+	}
+	buf := make([]byte, len(msg))
+	if _, err := f.ReadAt(at, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("round trip: %q", buf)
+	}
+	// Sub-range read at an unaligned offset.
+	part := make([]byte, 9)
+	if _, err := f.ReadAt(at, part, 4); err != nil {
+		t.Fatal(err)
+	}
+	if string(part) != "quick bro" {
+		t.Errorf("partial read: %q", part)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fs := testFS(t)
+	f, _ := fs.Open(0)
+	f.Append(0, []byte("abc"))
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(0, buf, 0); !errors.Is(err, ErrReadPastEOF) {
+		t.Errorf("read past EOF: %v", err)
+	}
+	if _, err := f.ReadAt(0, buf[:1], -1); !errors.Is(err, ErrReadPastEOF) {
+		t.Errorf("negative offset: %v", err)
+	}
+}
+
+func TestAppendSpansPages(t *testing.T) {
+	fs := testFS(t)
+	f, _ := fs.Open(1)
+	big := bytes.Repeat([]byte("x"), 200) // > 3 pages of 64B
+	_, at, err := f.Append(0, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 200)
+	if _, err := f.ReadAt(at, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, big) {
+		t.Error("multi-page round trip failed")
+	}
+}
+
+func TestUnalignedAppendRoundsUp(t *testing.T) {
+	fs := testFS(t)
+	f, _ := fs.Open(0)
+	f.Append(0, []byte("abc"))
+	size, at, err := f.Append(0, []byte("def"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second append starts on a fresh page: logical size = 64 + 3.
+	if size != 67 {
+		t.Errorf("size after unaligned appends = %d, want 67", size)
+	}
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(at, buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "def" {
+		t.Errorf("second append content: %q", buf)
+	}
+}
+
+func TestFileFull(t *testing.T) {
+	fs := testFS(t)
+	f, _ := fs.Open(0)
+	if f.MaxSize() != 16*64 {
+		t.Errorf("MaxSize = %d", f.MaxSize())
+	}
+	full := bytes.Repeat([]byte("y"), int(f.MaxSize()))
+	if _, _, err := f.Append(0, full); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Append(0, []byte("z")); !errors.Is(err, ErrFileFull) {
+		t.Errorf("append to full file: %v", err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := testFS(t)
+	f, _ := fs.Open(0)
+	_, at, _ := f.Append(0, []byte("data"))
+	if _, err := f.Truncate(at, 2); !errors.Is(err, ErrBadTruncate) {
+		t.Errorf("partial truncate: %v", err)
+	}
+	done, err := f.Truncate(at, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 0 {
+		t.Errorf("size after truncate = %d", f.Size())
+	}
+	// The zone is writable again from the start.
+	if _, _, err := f.Append(done, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	f.ReadAt(done, buf, 0)
+	if string(buf) != "fresh" {
+		t.Errorf("content after truncate+append: %q", buf)
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	if got := padTo([]byte("ab"), 4); !bytes.Equal(got, []byte{'a', 'b', 0, 0}) {
+		t.Errorf("padTo short = %v", got)
+	}
+	if got := padTo([]byte("abcd"), 2); !bytes.Equal(got, []byte("ab")) {
+		t.Errorf("padTo long = %v", got)
+	}
+}
+
+func TestTimingAdvances(t *testing.T) {
+	fs := testFS(t)
+	f, _ := fs.Open(0)
+	_, done, err := f.Append(100, []byte("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 100 {
+		t.Error("append must consume device time")
+	}
+	rdone, err := f.ReadAt(done, make([]byte, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdone <= done {
+		t.Error("read must consume device time")
+	}
+	_ = sim.Time(0)
+}
