@@ -8,23 +8,45 @@
 //	znsbench -run E2,E5      # selected experiments
 //	znsbench -list           # list experiments and their paper claims
 //	znsbench -seed 7         # change the workload seed
+//
+// Telemetry (see docs/observability.md):
+//
+//	znsbench -run E2,E8 -trace-out out.json -metrics-out metrics.json
+//	znsbench -run E2 -metrics-out m.json -sample-every 5ms
+//	znsbench -cpuprofile cpu.pprof    # profile the simulator itself
+//
+// -trace-out writes Chrome trace-event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev) with one track per flash channel, LUN, and zone;
+// -metrics-out writes counters, gauges, histograms, and the virtual-time
+// series sampled every -sample-every of virtual time.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"blockhead/internal/core"
+	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
 )
 
 func main() {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		quick  = flag.Bool("quick", false, "shrink sweeps and run lengths")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		seed   = flag.Int64("seed", 42, "workload seed")
+		runIDs      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick       = flag.Bool("quick", false, "shrink sweeps and run lengths")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		metricsOut  = flag.String("metrics-out", "", "write metrics JSON (counters, gauges, time series) to this file")
+		traceOut    = flag.String("trace-out", "", "write Chrome trace-event JSON to this file")
+		traceText   = flag.String("trace-text", "", "write a plain-text event dump to this file")
+		sampleEvery = flag.Duration("sample-every", 10*time.Millisecond, "virtual-time interval between time-series samples")
+		traceCap    = flag.Int("trace-events", telemetry.DefaultTraceEvents, "trace ring capacity (older events are dropped)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	)
 	flag.Parse()
 
@@ -35,7 +57,28 @@ func main() {
 		return
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "znsbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "znsbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := core.Config{Quick: *quick, Seed: *seed}
+	if *metricsOut != "" || *traceOut != "" || *traceText != "" {
+		cfg.Probe = telemetry.NewProbe(telemetry.Options{
+			SampleEvery: sim.Time((*sampleEvery).Nanoseconds()),
+			TraceEvents: *traceCap,
+		})
+	}
+
 	var selected []core.Experiment
 	if *runIDs == "" {
 		selected = core.All()
@@ -57,4 +100,61 @@ func main() {
 		}
 		fmt.Println(rep.Format())
 	}
+
+	if cfg.Probe != nil {
+		if err := exportTelemetry(cfg.Probe, *metricsOut, *traceOut, *traceText); err != nil {
+			fmt.Fprintf(os.Stderr, "znsbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// exportTelemetry writes the requested telemetry outputs after the runs.
+func exportTelemetry(p *telemetry.Probe, metricsOut, traceOut, traceText string) error {
+	writeTo := func(path string, write func(w io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if metricsOut != "" {
+		// Dump at the last sampled instant so final gauge polls line up with
+		// the end of the sampled series.
+		at := lastSampleTime(p.Metrics)
+		if err := writeTo(metricsOut, func(w io.Writer) error {
+			return p.Metrics.WriteJSON(w, at)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "znsbench: wrote metrics to %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		if err := writeTo(traceOut, p.Trace.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "znsbench: wrote %d trace events to %s (%d dropped)\n",
+			p.Trace.Len(), traceOut, p.Trace.Dropped())
+	}
+	if traceText != "" {
+		if err := writeTo(traceText, p.Trace.WriteText); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lastSampleTime finds the latest sampled timestamp, or 0.
+func lastSampleTime(r *telemetry.Registry) sim.Time {
+	var last sim.Time
+	for _, s := range r.SeriesSnapshot() {
+		if n := len(s.Points); n > 0 && s.Points[n-1].At > last {
+			last = s.Points[n-1].At
+		}
+	}
+	return last
 }

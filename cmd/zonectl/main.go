@@ -8,8 +8,11 @@
 //	zonectl                                   # report on a fresh device
 //	zonectl -zones 8 -zone-pages 64           # custom layout
 //	zonectl -ops "append:0,append:0,finish:1,reset:0,open:2"
+//	zonectl -ops "append:0,finish:0" -trace-out t.json -metrics-out m.json
 //
 // Each op is name:zone; supported ops: open, close, finish, reset, append.
+// -trace-out / -metrics-out record the op sequence through the telemetry
+// layer (see docs/observability.md).
 package main
 
 import (
@@ -21,16 +24,19 @@ import (
 
 	"blockhead/internal/flash"
 	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
 	"blockhead/internal/zns"
 )
 
 func main() {
 	var (
-		zones     = flag.Int("zones", 16, "number of zones")
-		zonePages = flag.Int("zone-pages", 256, "pages per zone")
-		maxActive = flag.Int("max-active", 14, "active-zone limit (0 = unlimited)")
-		ops       = flag.String("ops", "", "comma-separated ops, e.g. append:0,finish:1,reset:0")
-		cell      = flag.String("cell", "TLC", "cell type: SLC, MLC, TLC, QLC, PLC")
+		zones      = flag.Int("zones", 16, "number of zones")
+		zonePages  = flag.Int("zone-pages", 256, "pages per zone")
+		maxActive  = flag.Int("max-active", 14, "active-zone limit (0 = unlimited)")
+		ops        = flag.String("ops", "", "comma-separated ops, e.g. append:0,finish:1,reset:0")
+		cell       = flag.String("cell", "TLC", "cell type: SLC, MLC, TLC, QLC, PLC")
+		metricsOut = flag.String("metrics-out", "", "write metrics JSON for the op sequence to this file")
+		traceOut   = flag.String("trace-out", "", "write Chrome trace-event JSON for the op sequence to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +44,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zonectl:", err)
 		os.Exit(1)
+	}
+
+	var probe *telemetry.Probe
+	if *metricsOut != "" || *traceOut != "" {
+		probe = telemetry.NewProbe(telemetry.Options{SampleEvery: 100 * sim.Microsecond})
+		dev.SetProbe(probe)
 	}
 
 	var at sim.Time
@@ -60,6 +72,44 @@ func main() {
 	for _, zi := range dev.ZoneReport() {
 		fmt.Printf("%-6d %-10s %10d %10d\n", zi.Zone, zi.State, zi.WP, zi.Cap)
 	}
+
+	if probe != nil {
+		if err := export(probe, at, *metricsOut, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "zonectl:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// export writes the telemetry collected over the op sequence.
+func export(p *telemetry.Probe, at sim.Time, metricsOut, traceOut string) error {
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := p.Metrics.WriteJSON(f, at); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := p.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func buildDevice(zones, zonePages, maxActive int, cell string) (*zns.Device, error) {

@@ -6,6 +6,7 @@ import (
 	"blockhead/internal/flash"
 	"blockhead/internal/ftl"
 	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
 	"blockhead/internal/workload"
 )
 
@@ -30,6 +31,12 @@ func e2Geometry() flash.Geometry {
 // returns the steady-state write amplification. Exposed for the benchmark
 // harness and ablations.
 func E2Point(op float64, churnMultiple int, seed int64) (wa float64, gcPerHostWrite float64, err error) {
+	return e2Point(op, churnMultiple, seed, nil)
+}
+
+// e2Point is E2Point with an optional telemetry probe attached to the
+// device, so a full run exposes write-amp and GC-stall time series.
+func e2Point(op float64, churnMultiple int, seed int64, probe *telemetry.Probe) (wa float64, gcPerHostWrite float64, err error) {
 	dev, err := ftl.New(ftl.Config{
 		Geom: e2Geometry(),
 		Lat:  flash.LatenciesFor(flash.TLC),
@@ -42,6 +49,9 @@ func E2Point(op float64, churnMultiple int, seed int64) (wa float64, gcPerHostWr
 	})
 	if err != nil {
 		return 0, 0, err
+	}
+	if probe != nil {
+		dev.SetProbe(probe)
 	}
 	var at sim.Time
 	// Fill sequentially, then overwrite uniformly at random; measure only
@@ -79,8 +89,15 @@ func runE2(cfg Config) (Report, error) {
 		ops = []float64{0, 0.11, 0.25}
 		churn = 2
 	}
-	for _, op := range ops {
-		wa, gc, err := E2Point(op, churn, cfg.Seed)
+	for i, op := range ops {
+		// Attach the probe to the first (0% OP) point only: it is the
+		// highest-write-amp device, so its trace shows GC at its worst, and
+		// one point keeps the exported series self-consistent.
+		probe := cfg.Probe
+		if i != 0 {
+			probe = nil
+		}
+		wa, gc, err := e2Point(op, churn, cfg.Seed, probe)
 		if err != nil {
 			return r, fmt.Errorf("E2 at OP %.2f: %w", op, err)
 		}

@@ -69,6 +69,15 @@ func E8Run(policy ZonePolicy, cfg Config) (E8Result, error) {
 		return E8Result{}, err
 	}
 	loop := sim.NewLoop()
+	if cfg.Probe != nil {
+		// Attach telemetry to the dynamic-policy run only (the interesting
+		// one) and drive the sampler from the event loop, so active-zone
+		// occupancy is sampled even across idle gaps between bursts.
+		if policy == DynamicZones {
+			dev.SetProbe(cfg.Probe)
+			loop.OnEvent = cfg.Probe.Tick
+		}
+	}
 	src := workload.NewSource(cfg.Seed)
 	lat := stats.NewDist(256)
 	var bursts, pages uint64

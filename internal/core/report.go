@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"blockhead/internal/telemetry"
 )
 
 // Config parameterizes an experiment run.
@@ -20,6 +22,11 @@ type Config struct {
 	Quick bool
 	// Seed drives all workload randomness.
 	Seed int64
+	// Probe, when non-nil, is attached to the device models of the
+	// experiments that support cross-layer telemetry (E2, E8, ...); the
+	// caller exports its metrics and trace after the run. A nil probe is
+	// the zero-overhead default.
+	Probe *telemetry.Probe
 }
 
 // DefaultConfig is the standard full-size run.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
 )
 
 // CellType is the number of bits stored per NAND cell (§2.1).
@@ -192,6 +193,15 @@ type Device struct {
 	chans  []sim.Resource
 	blocks []blockState
 	counts OpCounts
+
+	// Accumulated busy time per LUN and per channel; the utilization gauges
+	// divide these by the current virtual time.
+	lunBusy  []sim.Time
+	chanBusy []sim.Time
+
+	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
+	tr                     *telemetry.Tracer
+	mReads, mProgs, mErase *telemetry.Counter
 }
 
 // New returns a fresh, fully erased device. It panics on invalid geometry;
@@ -201,13 +211,56 @@ func New(geom Geometry, lat Latencies) *Device {
 		panic(err)
 	}
 	return &Device{
-		Geom:   geom,
-		Lat:    lat,
-		luns:   make([]sim.Resource, geom.LUNs()),
-		chans:  make([]sim.Resource, geom.Channels),
-		blocks: make([]blockState, geom.TotalBlocks()),
+		Geom:     geom,
+		Lat:      lat,
+		luns:     make([]sim.Resource, geom.LUNs()),
+		chans:    make([]sim.Resource, geom.Channels),
+		blocks:   make([]blockState, geom.TotalBlocks()),
+		lunBusy:  make([]sim.Time, geom.LUNs()),
+		chanBusy: make([]sim.Time, geom.Channels),
 	}
 }
+
+// SetProbe attaches (or, with nil, detaches) telemetry: physical-op
+// counters, per-channel/per-LUN utilization gauges, and busy-interval spans
+// on one trace track per channel and per LUN. Attach before driving I/O.
+func (d *Device) SetProbe(p *telemetry.Probe) {
+	reg := p.Registry()
+	d.tr = p.Tracer()
+	d.mReads = reg.Counter("flash/read_pages")
+	d.mProgs = reg.Counter("flash/program_pages")
+	d.mErase = reg.Counter("flash/block_erases")
+	d.tr.NameProcess(telemetry.ProcFlashChan, "flash channels")
+	d.tr.NameProcess(telemetry.ProcFlashLUN, "flash LUNs (dies)")
+	for c := 0; c < d.Geom.Channels; c++ {
+		c := c
+		d.tr.NameTrack(telemetry.ProcFlashChan, int32(c), fmt.Sprintf("chan %d", c))
+		reg.Gauge(fmt.Sprintf("flash/chan/%d/util", c), func(at sim.Time) float64 {
+			if at <= 0 {
+				return 0
+			}
+			return float64(d.chanBusy[c]) / float64(at)
+		})
+	}
+	for l := 0; l < d.Geom.LUNs(); l++ {
+		l := l
+		die := l / d.Geom.PlanesPerDie % d.Geom.DiesPerChan
+		d.tr.NameTrack(telemetry.ProcFlashLUN, int32(l),
+			fmt.Sprintf("lun %d (chan %d die %d)", l, d.Geom.ChannelOfLUN(l), die))
+		reg.Gauge(fmt.Sprintf("flash/lun/%d/util", l), func(at sim.Time) float64 {
+			if at <= 0 {
+				return 0
+			}
+			return float64(d.lunBusy[l]) / float64(at)
+		})
+	}
+}
+
+// LUNBusy reports the accumulated busy time of a LUN (cell operations).
+func (d *Device) LUNBusy(lun int) sim.Time { return d.lunBusy[lun] }
+
+// ChannelBusy reports the accumulated busy time of a channel bus.
+func (d *Device) ChannelBusy(ch int) sim.Time { return d.chanBusy[ch] }
 
 // Counts returns a copy of the physical operation counters.
 func (d *Device) Counts() OpCounts { return d.counts }
@@ -243,9 +296,15 @@ func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 		return at, ErrUnwritten
 	}
 	lun := d.Geom.LUNOfBlock(block)
-	_, senseEnd := d.luns[lun].Acquire(at, d.Lat.ReadPage)
-	_, done := d.chans[d.Geom.ChannelOfLUN(lun)].Acquire(senseEnd, d.Lat.XferPage)
+	ch := d.Geom.ChannelOfLUN(lun)
+	senseStart, senseEnd := d.luns[lun].Acquire(at, d.Lat.ReadPage)
+	xferStart, done := d.chans[ch].Acquire(senseEnd, d.Lat.XferPage)
+	d.lunBusy[lun] += d.Lat.ReadPage
+	d.chanBusy[ch] += d.Lat.XferPage
 	d.counts.Reads++
+	d.mReads.Inc()
+	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "read", senseStart, senseEnd, "block", int64(block))
+	d.tr.Span(telemetry.ProcFlashChan, int32(ch), "flash", "xfer_out", xferStart, done)
 	return done, nil
 }
 
@@ -268,10 +327,16 @@ func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
 		return at, ErrNotSequential
 	}
 	lun := d.Geom.LUNOfBlock(block)
-	_, xferEnd := d.chans[d.Geom.ChannelOfLUN(lun)].Acquire(at, d.Lat.XferPage)
-	_, done := d.luns[lun].Acquire(xferEnd, d.Lat.ProgramPage)
+	ch := d.Geom.ChannelOfLUN(lun)
+	xferStart, xferEnd := d.chans[ch].Acquire(at, d.Lat.XferPage)
+	progStart, done := d.luns[lun].Acquire(xferEnd, d.Lat.ProgramPage)
+	d.chanBusy[ch] += d.Lat.XferPage
+	d.lunBusy[lun] += d.Lat.ProgramPage
 	b.nextPage++
 	d.counts.Programs++
+	d.mProgs.Inc()
+	d.tr.Span(telemetry.ProcFlashChan, int32(ch), "flash", "xfer_in", xferStart, xferEnd)
+	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "program", progStart, done, "block", int64(block))
 	return done, nil
 }
 
@@ -291,10 +356,13 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 		return at, ErrWornOut
 	}
 	lun := d.Geom.LUNOfBlock(block)
-	_, done := d.luns[lun].Acquire(at, d.Lat.EraseBlock)
+	eraseStart, done := d.luns[lun].Acquire(at, d.Lat.EraseBlock)
+	d.lunBusy[lun] += d.Lat.EraseBlock
 	b.eraseCount++
 	b.nextPage = 0
 	d.counts.Erases++
+	d.mErase.Inc()
+	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "erase", eraseStart, done, "block", int64(block))
 	return done, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"blockhead/internal/flash"
 	"blockhead/internal/sim"
 	"blockhead/internal/stats"
+	"blockhead/internal/telemetry"
 )
 
 // GCPolicy selects the victim-block policy.
@@ -177,6 +178,14 @@ type Device struct {
 	// lastGCStall records the duration of the most recent foreground GC
 	// stall; exported via Stats for the scheduling experiments.
 	lastGCStall sim.Time
+
+	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
+	reg        *telemetry.Registry
+	tr         *telemetry.Tracer
+	mGCVictims *telemetry.Counter
+	mGCCopies  *telemetry.Counter
+	mGCForced  *telemetry.Counter
+	hGCStall   *telemetry.Hist
 }
 
 type frontier struct {
@@ -283,6 +292,27 @@ func NewDefault(geom flash.Geometry, lat flash.Latencies, opFraction float64) (*
 		HotColdSeparation: true,
 		TrimSupported:     true,
 	})
+}
+
+// SetProbe attaches telemetry to the FTL and its flash chip: GC work
+// counters, a GC-stall histogram, gauges for write amplification and the
+// free pool, and GC phase spans on the FTL trace track. Attach before
+// driving I/O; a nil probe leaves every handle as a zero-cost no-op.
+func (d *Device) SetProbe(p *telemetry.Probe) {
+	d.chip.SetProbe(p)
+	reg := p.Registry()
+	d.reg = reg
+	d.tr = p.Tracer()
+	d.mGCVictims = reg.Counter("ftl/gc/victims")
+	d.mGCCopies = reg.Counter("ftl/gc/copy_pages")
+	d.mGCForced = reg.Counter("ftl/gc/forced_runs")
+	d.hGCStall = reg.Histogram("ftl/gc/stall")
+	d.tr.NameProcess(telemetry.ProcFTL, "conventional FTL")
+	d.tr.NameTrack(telemetry.ProcFTL, 0, "gc")
+	reg.Gauge("ftl/write_amp", func(sim.Time) float64 { return d.counters.WriteAmp() })
+	reg.Gauge("ftl/free_blocks", func(sim.Time) float64 { return float64(d.freeCount) })
+	reg.Gauge("ftl/free_slots", func(sim.Time) float64 { return float64(d.freeSlots) })
+	reg.Gauge("ftl/utilization", func(sim.Time) float64 { return d.Utilization() })
 }
 
 // CapacityPages reports the logical (host-visible) capacity in pages.
@@ -413,6 +443,7 @@ func (d *Device) WritePageStream(at sim.Time, lpn int64, stream int, data []byte
 	if stream < 0 || stream >= len(d.hostFront) {
 		return at, ErrBadStream
 	}
+	d.reg.Tick(at)
 	at = d.maybeGC(at)
 
 	ppn, err := d.allocPage(stream, false)
@@ -453,6 +484,7 @@ func (d *Device) ReadPage(at sim.Time, lpn int64) (sim.Time, []byte, error) {
 	if ppn == unmapped {
 		return at, nil, ErrUnmapped
 	}
+	d.reg.Tick(at)
 	done, err := d.chip.ReadPage(at, d.blockOf(ppn), d.pageOf(ppn))
 	if err != nil {
 		return at, nil, err

@@ -3,6 +3,7 @@ package ftl
 import (
 	"blockhead/internal/flash"
 	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
 )
 
 // maybeGC runs garbage collection per the configured scheduling mode and
@@ -40,6 +41,10 @@ func (d *Device) maybeGC(at sim.Time) sim.Time {
 		at = sim.Max(at, done)
 	}
 	d.lastGCStall = at - start
+	if d.lastGCStall > 0 {
+		d.hGCStall.Observe(d.lastGCStall)
+		d.tr.Span(telemetry.ProcFTL, 0, "ftl", "gc_foreground_stall", start, at)
+	}
 	return at
 }
 
@@ -77,6 +82,10 @@ func (d *Device) incrementalGC(at sim.Time) sim.Time {
 			at = sim.Max(at, done)
 		}
 		d.lastGCStall = at - start
+		if d.lastGCStall > 0 {
+			d.hGCStall.Observe(d.lastGCStall)
+			d.tr.Span(telemetry.ProcFTL, 0, "ftl", "gc_emergency_stall", start, at)
+		}
 		return at
 	}
 	budget := d.cfg.GCChunkPages
@@ -95,6 +104,7 @@ func (d *Device) incrementalGC(at sim.Time) sim.Time {
 		if int(d.gcCursor) >= d.pages {
 			victim := d.gcVictim
 			d.gcVictim = -1
+			d.mGCVictims.Inc()
 			if eraseDone, err := d.chip.EraseBlock(at, victim); err == nil {
 				_ = eraseDone
 				d.counters.BlockErases++
@@ -149,6 +159,7 @@ func (d *Device) relocateChunk(at sim.Time, victim, budget int) (moved int, done
 		d.counters.FlashReadPages++
 		d.counters.FlashProgramPages++
 		d.counters.GCCopyPages++
+		d.mGCCopies.Inc()
 		moved++
 	}
 	return moved, done
@@ -159,6 +170,7 @@ func (d *Device) relocateChunk(at sim.Time, victim, budget int) (moved int, done
 // write streams, one stream's frontiers can be empty while the aggregate
 // hostSlots figure still looks healthy, so the regular trigger never fired.
 func (d *Device) forceGC(at sim.Time) sim.Time {
+	d.mGCForced.Inc()
 	for d.freeCount <= gcReserveBlocks+1 {
 		victim := d.pickVictim(at)
 		if victim < 0 {
@@ -289,6 +301,7 @@ func (d *Device) relocateAndErase(at sim.Time, victim int) (sim.Time, bool) {
 	if d.valid[victim] > d.gcSlots() {
 		return at, false
 	}
+	copied := d.counters.GCCopyPages
 	var lastDone = at
 	for p := 0; p < d.pages; p++ {
 		ppn := d.ppn(victim, p)
@@ -320,6 +333,10 @@ func (d *Device) relocateAndErase(at sim.Time, victim int) (sim.Time, bool) {
 	}
 
 	d.gcRuns++
+	d.mGCVictims.Inc()
+	d.mGCCopies.Add(d.counters.GCCopyPages - copied)
+	d.tr.SpanArg(telemetry.ProcFTL, 0, "ftl", "gc_relocate", at, lastDone,
+		"victim", int64(victim))
 	eraseDone, err := d.chip.EraseBlock(at, victim)
 	if err != nil {
 		// ErrWornOut: the block is retired and its capacity is permanently

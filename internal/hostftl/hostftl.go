@@ -25,6 +25,7 @@ import (
 
 	"blockhead/internal/sim"
 	"blockhead/internal/stats"
+	"blockhead/internal/telemetry"
 	"blockhead/internal/zns"
 )
 
@@ -116,6 +117,14 @@ type FTL struct {
 	// lastStall is the host-visible stall of the most recent write due to
 	// reclamation work.
 	lastStall sim.Time
+
+	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
+	reg          *telemetry.Registry
+	tr           *telemetry.Tracer
+	mRelocPages  *telemetry.Counter
+	mGCResets    *telemetry.Counter
+	mEmergencies *telemetry.Counter
+	hStall       *telemetry.Hist
 }
 
 // New wraps a ZNS device. The device must allow at least Streams+1 active
@@ -176,6 +185,25 @@ func New(dev *zns.Device, cfg Config) (*FTL, error) {
 		}
 	}
 	return f, nil
+}
+
+// SetProbe attaches telemetry to the translation layer and, through it, the
+// underlying ZNS device and flash chip: reclamation counters, a write-stall
+// histogram, end-to-end write-amp and free-zone gauges, and reclamation
+// phase spans on the host-FTL trace track. Attach before driving I/O.
+func (f *FTL) SetProbe(p *telemetry.Probe) {
+	f.dev.SetProbe(p)
+	reg := p.Registry()
+	f.reg = reg
+	f.tr = p.Tracer()
+	f.mRelocPages = reg.Counter("hostftl/reclaim/copy_pages")
+	f.mGCResets = reg.Counter("hostftl/reclaim/zone_resets")
+	f.mEmergencies = reg.Counter("hostftl/reclaim/emergencies")
+	f.hStall = reg.Histogram("hostftl/write_stall")
+	f.tr.NameProcess(telemetry.ProcHostFTL, "host FTL")
+	f.tr.NameTrack(telemetry.ProcHostFTL, 0, "reclaim")
+	reg.Gauge("hostftl/write_amp", func(sim.Time) float64 { return f.WriteAmp() })
+	reg.Gauge("hostftl/free_zones", func(sim.Time) float64 { return float64(len(f.freeZones)) })
 }
 
 // CapacityPages reports the logical capacity in pages.
@@ -290,6 +318,7 @@ func (f *FTL) WriteStream(at sim.Time, lpn int64, stream int, data []byte) (sim.
 		return at, ErrBadStream
 	}
 	start := at
+	f.reg.Tick(at)
 	at = f.reclaim(at)
 
 	slot := f.streamRR[stream] % len(f.streamZone[stream])
@@ -305,6 +334,9 @@ func (f *FTL) WriteStream(at sim.Time, lpn int64, stream int, data []byte) (sim.
 	f.valid[z]++
 	f.hostWrites++
 	f.lastStall = at - start
+	if f.lastStall > 0 {
+		f.hStall.Observe(f.lastStall)
+	}
 	return done, nil
 }
 

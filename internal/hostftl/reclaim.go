@@ -2,6 +2,7 @@ package hostftl
 
 import (
 	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
 	"blockhead/internal/zns"
 )
 
@@ -22,6 +23,7 @@ const (
 // mechanism behind the paper's §2.4 tail-latency results.
 func (f *FTL) MaintenanceStep(at sim.Time, budget, targetFree int) bool {
 	f.maintTicks++
+	f.reg.Tick(at)
 	if len(f.freeZones) > targetFree {
 		return false
 	}
@@ -42,6 +44,8 @@ func (f *FTL) reclaim(at sim.Time) sim.Time {
 		if len(f.freeZones) <= 1 {
 			// Emergency: the pool is dry; fall back to a blocking pass.
 			f.emergencies++
+			f.mEmergencies.Inc()
+			f.tr.Instant(telemetry.ProcHostFTL, 0, "hostftl", "emergency", at)
 			return f.reclaimInline(at)
 		}
 		if len(f.freeZones) <= incrementalStartWater {
@@ -143,6 +147,9 @@ func (f *FTL) finishVictim(at sim.Time, victim int, from int64) (sim.Time, bool)
 		f.freeZones = append(f.freeZones, victim)
 	}
 	f.gcResets++
+	f.mGCResets.Inc()
+	f.tr.SpanArg(telemetry.ProcHostFTL, 0, "hostftl", "reclaim_victim", at, resetDone,
+		"zone", int64(victim))
 	return resetDone, true
 }
 
@@ -222,6 +229,7 @@ func (f *FTL) remap(src, dst int64) {
 	if lpn == unmapped {
 		return
 	}
+	f.mRelocPages.Inc()
 	sz, _ := f.dev.ZoneOf(src)
 	dz, _ := f.dev.ZoneOf(dst)
 	f.p2l[src] = unmapped

@@ -42,6 +42,12 @@ type Loop struct {
 	seq     uint64
 	stopped bool
 	steps   uint64
+
+	// OnEvent, if set, runs after every executed event with the loop's
+	// current time. It is the hook telemetry uses to drive its virtual-time
+	// sampler from the event loop (telemetry.Probe.Tick is nil-safe and fits
+	// directly); keep it cheap, it runs once per event.
+	OnEvent func(now Time)
 }
 
 // NewLoop returns an empty event loop positioned at time 0.
@@ -80,6 +86,9 @@ func (l *Loop) Run() Time {
 		l.now = e.at
 		l.steps++
 		e.fn(e.at)
+		if l.OnEvent != nil {
+			l.OnEvent(e.at)
+		}
 	}
 	return l.now
 }
@@ -94,6 +103,9 @@ func (l *Loop) RunUntil(deadline Time) Time {
 		l.now = e.at
 		l.steps++
 		e.fn(e.at)
+		if l.OnEvent != nil {
+			l.OnEvent(e.at)
+		}
 	}
 	if l.now < deadline {
 		l.now = deadline

@@ -11,6 +11,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"blockhead/internal/sim"
@@ -113,8 +114,8 @@ func (d *Dist) Summary() Summary {
 
 // String formats the summary with microsecond precision.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p99=%.1fus p999=%.1fus max=%.1fus",
-		s.Count, s.Mean.Micros(), s.P50.Micros(), s.P99.Micros(), s.P999.Micros(), s.Max.Micros())
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus p999=%.1fus max=%.1fus",
+		s.Count, s.Mean.Micros(), s.P50.Micros(), s.P90.Micros(), s.P99.Micros(), s.P999.Micros(), s.Max.Micros())
 }
 
 // Reset discards all samples.
@@ -147,20 +148,7 @@ func bucketOf(v sim.Time) int {
 	if v <= 0 {
 		return 0
 	}
-	b := 63 - leadingZeros(uint64(v))
-	return b
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
+	return 63 - bits.LeadingZeros64(uint64(v))
 }
 
 // Count reports the number of recorded samples.

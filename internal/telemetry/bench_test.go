@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"testing"
+
+	"blockhead/internal/sim"
+)
+
+// The package's core contract: with no probe attached, every instrument is
+// a nil handle and the hot path must not allocate. This is what lets the
+// device models call telemetry unconditionally on every simulated I/O.
+func BenchmarkProbeDisabled(b *testing.B) {
+	var (
+		c  *Counter
+		h  *Hist
+		tr *Tracer
+		r  *Registry
+		p  *Probe
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(i)
+		c.Inc()
+		c.Add(4)
+		h.Observe(at)
+		tr.Span(ProcFlashLUN, 3, "flash", "read", at, at+40*sim.Microsecond)
+		tr.InstantArg(ProcZone, 9, "zone", "->open", at, "zone", 9)
+		r.Tick(at)
+		p.Tick(at)
+	}
+}
+
+// The enabled path for comparison: counters and spans on a live probe.
+// Spans into a pre-sized ring are allocation-free too; only gauge samples
+// (append into a series) amortize allocations.
+func BenchmarkProbeEnabled(b *testing.B) {
+	p := NewProbe(Options{TraceEvents: 1 << 10})
+	c := p.Metrics.Counter("bench/ops")
+	h := p.Metrics.Histogram("bench/lat")
+	tr := p.Trace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(i)
+		c.Inc()
+		c.Add(4)
+		h.Observe(at)
+		tr.Span(ProcFlashLUN, 3, "flash", "read", at, at+40*sim.Microsecond)
+		tr.InstantArg(ProcZone, 9, "zone", "->open", at, "zone", 9)
+		p.Tick(at)
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the benchmark's claim in a normal test
+// run, so `go test` alone catches a regression.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var (
+		c  *Counter
+		tr *Tracer
+		r  *Registry
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		tr.Span(ProcFTL, 0, "ftl", "gc", 0, sim.Millisecond)
+		tr.Instant(ProcZone, 1, "zone", "->open", 0)
+		r.Tick(sim.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import "blockhead/internal/sim"
+
+// Probe bundles a metrics registry and a tracer into the single handle
+// device models accept. A nil *Probe means "telemetry off": devices resolve
+// nil metric handles through it and take the zero-cost path on every op.
+type Probe struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// Options parameterizes NewProbe.
+type Options struct {
+	// SampleEvery arms the time-series sampler at this virtual-time
+	// interval; 0 leaves sampling off (aggregates only).
+	SampleEvery sim.Time
+	// TraceEvents is the trace ring capacity; 0 selects DefaultTraceEvents.
+	TraceEvents int
+}
+
+// NewProbe builds an armed probe.
+func NewProbe(opts Options) *Probe {
+	reg := NewRegistry()
+	reg.SampleEvery(opts.SampleEvery)
+	return &Probe{Metrics: reg, Trace: NewTracer(opts.TraceEvents)}
+}
+
+// Registry returns the metrics registry, or nil on a nil probe — the
+// nil-safe accessor device SetProbe implementations use.
+func (p *Probe) Registry() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.Metrics
+}
+
+// Tracer returns the tracer, or nil on a nil probe.
+func (p *Probe) Tracer() *Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.Trace
+}
+
+// Tick advances the sampler; nil-safe, so it can be handed to
+// sim.Loop.OnEvent or called from device op paths unconditionally.
+func (p *Probe) Tick(at sim.Time) {
+	if p == nil {
+		return
+	}
+	p.Metrics.Tick(at)
+}

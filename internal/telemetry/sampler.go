@@ -1,0 +1,104 @@
+package telemetry
+
+import "blockhead/internal/sim"
+
+// Point is one time-series sample.
+type Point struct {
+	At sim.Time
+	V  float64
+}
+
+// Series is one gauge's sampled history.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// defaultMaxPoints bounds each series; when a run outgrows it the sampler
+// halves the resolution (drops every other point, doubles the interval) so
+// memory stays bounded on arbitrarily long runs while the curve keeps its
+// overall shape.
+const defaultMaxPoints = 4096
+
+// SampleEvery arms the time-series sampler: every interval of virtual time,
+// Tick snapshots every registered gauge. interval <= 0 disables sampling.
+// No-op on a nil registry.
+func (r *Registry) SampleEvery(interval sim.Time) {
+	if r == nil {
+		return
+	}
+	r.sampleEvery = interval
+	r.nextSample = 0
+}
+
+// SampleInterval reports the current (possibly decimated) interval.
+func (r *Registry) SampleInterval() sim.Time {
+	if r == nil {
+		return 0
+	}
+	return r.sampleEvery
+}
+
+// Tick advances the sampler to virtual time at, snapshotting the gauges if
+// a sample is due. Device models call it from their operation paths (and
+// the sim loop can drive it via Loop.OnEvent); the fast path is a nil check
+// and one comparison, so it is safe on every I/O.
+func (r *Registry) Tick(at sim.Time) {
+	if r == nil || r.sampleEvery <= 0 {
+		return
+	}
+	if at+r.sampleEvery < r.nextSample {
+		// Virtual time went backwards: a new experiment attached to this
+		// registry and restarted its clock. Re-arm on the new timeline so
+		// its series still collect samples.
+		r.nextSample = at
+	}
+	if at < r.nextSample {
+		return
+	}
+	r.sample(at)
+	// Re-arm on the sampling grid. After a long jump in virtual time (an
+	// idle device), skip ahead rather than emitting a burst of stale points.
+	r.nextSample += r.sampleEvery
+	if r.nextSample <= at {
+		r.nextSample = at + r.sampleEvery
+	}
+}
+
+func (r *Registry) sample(at sim.Time) {
+	if at == r.lastSample && r.lastSample > 0 {
+		return // same instant; one point is enough
+	}
+	r.lastSample = at
+	for _, g := range r.gauges {
+		g.series = append(g.series, Point{At: at, V: g.fn(at)})
+	}
+	if len(r.gauges) > 0 && len(r.gauges[0].series) >= r.maxPoints {
+		r.decimate()
+	}
+}
+
+// decimate halves every series in lockstep and doubles the interval.
+func (r *Registry) decimate() {
+	for _, g := range r.gauges {
+		kept := g.series[:0]
+		for i := 0; i < len(g.series); i += 2 {
+			kept = append(kept, g.series[i])
+		}
+		g.series = kept
+	}
+	r.sampleEvery *= 2
+}
+
+// SeriesSnapshot returns every gauge's sampled history, ordered by name.
+// Empty on a nil registry or when sampling was never armed.
+func (r *Registry) SeriesSnapshot() []Series {
+	if r == nil {
+		return nil
+	}
+	out := make([]Series, 0, len(r.gauges))
+	for _, g := range r.gaugesSorted() {
+		out = append(out, Series{Name: g.name, Points: append([]Point(nil), g.series...)})
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"blockhead/internal/sim"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Error("nil counter not zero")
+	}
+
+	var h *Hist
+	h.Observe(sim.Millisecond)
+	if snap := h.Snapshot(); snap.Count() != 0 {
+		t.Error("nil hist recorded")
+	}
+
+	var r *Registry
+	if r.Counter("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil registry returned live handles")
+	}
+	r.Gauge("g", func(sim.Time) float64 { return 1 })
+	if _, ok := r.GaugeValue("g", 0); ok {
+		t.Error("nil registry has a gauge")
+	}
+	r.SampleEvery(sim.Millisecond)
+	r.Tick(sim.Second)
+	if r.SeriesSnapshot() != nil {
+		t.Error("nil registry has series")
+	}
+
+	var tr *Tracer
+	tr.Span(1, 0, "c", "s", 0, 10)
+	tr.SpanArg(1, 0, "c", "s", 0, 10, "a", 1)
+	tr.Instant(1, 0, "c", "i", 5)
+	tr.InstantArg(1, 0, "c", "i", 5, "a", 1)
+	tr.NameProcess(1, "p")
+	tr.NameTrack(1, 0, "t")
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer recorded")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Error("nil tracer export is not a valid trace")
+	}
+
+	var p *Probe
+	if p.Registry() != nil || p.Tracer() != nil {
+		t.Error("nil probe returned live components")
+	}
+	p.Tick(0)
+}
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a/b")
+	c1.Add(3)
+	if c2 := r.Counter("a/b"); c2 != c1 || c2.Value() != 3 {
+		t.Error("counter handle not stable across lookups")
+	}
+	if c1.Name() != "a/b" {
+		t.Errorf("Name = %q", c1.Name())
+	}
+	h1 := r.Histogram("h")
+	h1.Observe(2 * sim.Microsecond)
+	h2 := r.Histogram("h")
+	if snap := h2.Snapshot(); h2 != h1 || snap.Count() != 1 {
+		t.Error("histogram handle not stable")
+	}
+}
+
+func TestGaugeRegisterAndReplace(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", func(sim.Time) float64 { return 1 })
+	if v, ok := r.GaugeValue("g", 0); !ok || v != 1 {
+		t.Fatalf("gauge = %v, %v", v, ok)
+	}
+	// Re-registering under the same name replaces the function (devices are
+	// rebuilt between experiments but share one probe).
+	r.Gauge("g", func(at sim.Time) float64 { return float64(at) })
+	if v, _ := r.GaugeValue("g", 7); v != 7 {
+		t.Errorf("replaced gauge = %v", v)
+	}
+	if _, ok := r.GaugeValue("missing", 0); ok {
+		t.Error("unknown gauge reported ok")
+	}
+}
+
+func TestSamplerCollectsOnGrid(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("v", func(at sim.Time) float64 { return at.Millis() })
+	r.SampleEvery(sim.Millisecond)
+	for at := sim.Time(0); at <= 10*sim.Millisecond; at += 100 * sim.Microsecond {
+		r.Tick(at)
+	}
+	ss := r.SeriesSnapshot()
+	if len(ss) != 1 {
+		t.Fatalf("series = %d", len(ss))
+	}
+	pts := ss[0].Points
+	if len(pts) != 11 { // t=0ms..10ms inclusive
+		t.Fatalf("points = %d, want 11", len(pts))
+	}
+	for i, p := range pts {
+		if p.At != sim.Time(i)*sim.Millisecond || p.V != float64(i) {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+}
+
+func TestSamplerSkipsIdleGaps(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("v", func(sim.Time) float64 { return 1 })
+	r.SampleEvery(sim.Millisecond)
+	r.Tick(0)
+	// A long idle gap must produce one sample at the far end, not a burst of
+	// back-dated points.
+	r.Tick(1 * sim.Second)
+	r.Tick(1*sim.Second + sim.Millisecond)
+	pts := r.SeriesSnapshot()[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3 (0, 1s, 1.001s): %+v", len(pts), pts)
+	}
+}
+
+func TestSamplerSurvivesTimeRegression(t *testing.T) {
+	// Experiments restart virtual time at 0; a probe shared across two runs
+	// must keep sampling on the second timeline.
+	r := NewRegistry()
+	r.Gauge("v", func(sim.Time) float64 { return 1 })
+	r.SampleEvery(sim.Millisecond)
+	for at := sim.Time(0); at <= 5*sim.Millisecond; at += sim.Millisecond {
+		r.Tick(at)
+	}
+	before := len(r.SeriesSnapshot()[0].Points)
+	// Second experiment: clock restarts.
+	for at := sim.Time(0); at <= 5*sim.Millisecond; at += sim.Millisecond {
+		r.Tick(at)
+	}
+	after := len(r.SeriesSnapshot()[0].Points)
+	if after <= before {
+		t.Fatalf("no samples after time regression: %d -> %d", before, after)
+	}
+}
+
+func TestSamplerDecimates(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("v", func(at sim.Time) float64 { return float64(at) })
+	r.SampleEvery(sim.Microsecond)
+	n := defaultMaxPoints * 4
+	for i := 0; i <= n; i++ {
+		r.Tick(sim.Time(i) * sim.Microsecond)
+	}
+	pts := r.SeriesSnapshot()[0].Points
+	if len(pts) > defaultMaxPoints {
+		t.Fatalf("series grew past the cap: %d > %d", len(pts), defaultMaxPoints)
+	}
+	if r.SampleInterval() <= sim.Microsecond {
+		t.Error("interval did not grow with decimation")
+	}
+	// Still covers the whole run, in order.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].At <= pts[i-1].At {
+			t.Fatalf("series not monotone at %d", i)
+		}
+	}
+	if last := pts[len(pts)-1].At; last < sim.Time(n/2)*sim.Microsecond {
+		t.Errorf("decimated series lost the tail: last point at %v", last)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Span(1, 0, "c", "s", sim.Time(i), sim.Time(i+1))
+	}
+	if tr.Len() != 4 || tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	ev := tr.Events()
+	// Oldest-first: the surviving window is spans 6..9.
+	for i, e := range ev {
+		if e.Start != sim.Time(6+i) {
+			t.Fatalf("event %d starts at %v, want %v", i, e.Start, 6+i)
+		}
+	}
+}
+
+func TestTracerEventShapes(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Span(2, 3, "flash", "read", 100, 40100)
+	tr.SpanArg(2, 3, "flash", "program", 200, 900, "block", 17)
+	tr.Instant(5, 1, "zone", "->open", 50)
+	tr.Span(1, 0, "flash", "clamped", 30, 10) // end < start clamps to zero-dur
+	ev := tr.Events()
+	if ev[0].Instant() || ev[0].Dur != 40000 {
+		t.Errorf("span: %+v", ev[0])
+	}
+	if ev[1].ArgName != "block" || ev[1].Arg != 17 {
+		t.Errorf("span arg: %+v", ev[1])
+	}
+	if !ev[2].Instant() {
+		t.Errorf("instant: %+v", ev[2])
+	}
+	if ev[3].Dur != 0 {
+		t.Errorf("clamped span: %+v", ev[3])
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(16)
+	tr.NameProcess(ProcFlashLUN, "flash LUNs (dies)")
+	tr.NameTrack(ProcFlashLUN, 2, "lun 2")
+	tr.Span(ProcFlashLUN, 2, "flash", "read", sim.Microsecond, 3*sim.Microsecond)
+	tr.InstantArg(ProcZone, 7, "zone", "->full", 5*sim.Microsecond, "zone", 7)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var sawProcMeta, sawTrackMeta, sawSpan, sawInstant bool
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "process_name" {
+				sawProcMeta = true
+			}
+			if e["name"] == "thread_name" {
+				sawTrackMeta = true
+			}
+		case "X":
+			sawSpan = true
+			if e["ts"].(float64) != 1 || e["dur"].(float64) != 2 {
+				t.Errorf("span ts/dur wrong: %v", e)
+			}
+		case "i":
+			sawInstant = true
+			if e["s"] != "t" {
+				t.Errorf("instant missing scope: %v", e)
+			}
+			args := e["args"].(map[string]interface{})
+			if args["zone"].(float64) != 7 {
+				t.Errorf("instant args wrong: %v", e)
+			}
+		}
+	}
+	if !sawProcMeta || !sawTrackMeta || !sawSpan || !sawInstant {
+		t.Errorf("export missing sections: proc=%v track=%v span=%v instant=%v",
+			sawProcMeta, sawTrackMeta, sawSpan, sawInstant)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := NewTracer(2)
+	tr.NameProcess(1, "flash")
+	tr.NameTrack(1, 0, "chan 0")
+	for i := 0; i < 3; i++ { // one more than capacity -> a dropped note
+		tr.SpanArg(1, 0, "c", "xfer", sim.Time(i), sim.Time(i+1), "page", int64(i))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"flash/chan 0", "xfer", "page=2", "1 older events dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("layer/ops").Add(42)
+	r.Histogram("layer/lat").Observe(8 * sim.Microsecond)
+	r.Gauge("layer/level", func(at sim.Time) float64 { return 2.5 })
+	r.SampleEvery(sim.Millisecond)
+	r.Tick(0)
+	r.Tick(sim.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var d MetricsDump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Counters["layer/ops"] != 42 {
+		t.Errorf("counter = %d", d.Counters["layer/ops"])
+	}
+	if d.Gauges["layer/level"] != 2.5 {
+		t.Errorf("gauge = %v", d.Gauges["layer/level"])
+	}
+	if h := d.Histograms["layer/lat"]; h.Count != 1 || h.MaxUs != 8 {
+		t.Errorf("hist = %+v", h)
+	}
+	if len(d.Series) != 1 || len(d.Series[0].Samples) != 2 {
+		t.Fatalf("series = %+v", d.Series)
+	}
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// everyKindRecords has one record per Kind, exercising the fields each kind
+// actually uses (block ops: LBA/Pages; zone ops: Zone, plus Pages for append).
+func everyKindRecords() []Record {
+	return []Record{
+		{At: 0, Kind: OpRead, LBA: 7, Pages: 2},
+		{At: 10, Kind: OpWrite, LBA: 1 << 33, Pages: 16},
+		{At: 10, Kind: OpTrim, LBA: 512, Pages: 128},
+		{At: 25, Kind: OpAppend, Zone: 3, Pages: 4},
+		{At: 1 << 35, Kind: OpReset, Zone: 511},
+		{At: 1 << 36, Kind: OpFinish, Zone: 0},
+	}
+}
+
+// Every kind — including the zone-management ops OpReset and OpFinish —
+// survives a write/read round trip bit-for-bit.
+func TestRoundTripEveryKind(t *testing.T) {
+	recs := everyKindRecords()
+	if len(recs) != int(numKinds) {
+		t.Fatalf("test covers %d kinds, package defines %d", len(recs), numKinds)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("append %v: %v", rec.Kind, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for _, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("read %v: %v", want.Kind, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("trailing Next: %v, want EOF", err)
+	}
+}
+
+// Truncating a valid trace at every possible byte offset must yield a clean
+// error (EOF before any record, ErrBadMagic inside the header, ErrCorrupt
+// inside a record) — never a panic or a silently wrong record.
+func TestTruncatedStreamEveryOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := everyKindRecords()
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	full := buf.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		var got []Record
+		var err error
+		for {
+			var rec Record
+			rec, err = r.Next()
+			if err != nil {
+				break
+			}
+			got = append(got, rec)
+		}
+		switch {
+		case cut == 0:
+			if !errors.Is(err, io.EOF) {
+				t.Errorf("cut=0: err = %v, want EOF", err)
+			}
+		case cut < len(magic):
+			if !errors.Is(err, ErrBadMagic) {
+				t.Errorf("cut=%d (inside header): err = %v, want ErrBadMagic", cut, err)
+			}
+		default:
+			// Whole records decoded before the cut must match the originals;
+			// the partial record at the cut must be EOF (cut on a record
+			// boundary) or ErrCorrupt (cut mid-record).
+			if !errors.Is(err, io.EOF) && !errors.Is(err, ErrCorrupt) {
+				t.Errorf("cut=%d: err = %v, want EOF or ErrCorrupt", cut, err)
+			}
+			if len(got) > len(recs) {
+				t.Fatalf("cut=%d: decoded %d records from a %d-record prefix", cut, len(got), len(recs))
+			}
+			for i, rec := range got {
+				if rec != recs[i] {
+					t.Errorf("cut=%d: record %d = %+v, want %+v", cut, i, rec, recs[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the reader: decoding must terminate
+// with a record, EOF, or one of the package's sentinel errors — and any
+// records that do decode must re-encode to a decodable stream.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ZTRC\x01"))
+	f.Add([]byte("NOTATRACE"))
+	var seedBuf bytes.Buffer
+	w := NewWriter(&seedBuf)
+	for _, rec := range everyKindRecords() {
+		w.Append(rec)
+	}
+	w.Flush()
+	f.Add(seedBuf.Bytes())
+	f.Add(append(seedBuf.Bytes(), 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var recs []Record
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				break
+			}
+			if rec.Kind >= numKinds {
+				t.Fatalf("decoded invalid kind %d", rec.Kind)
+			}
+			recs = append(recs, rec)
+			if len(recs) > len(data) {
+				t.Fatalf("decoded %d records from %d bytes", len(recs), len(data))
+			}
+		}
+		// Whatever decoded is a valid monotone trace: it must re-encode and
+		// decode back identically.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, rec := range recs {
+			if err := w.Append(rec); err != nil {
+				t.Fatalf("re-encode %+v: %v", rec, err)
+			}
+		}
+		w.Flush()
+		r2 := NewReader(&buf)
+		for i, want := range recs {
+			got, err := r2.Next()
+			if err != nil {
+				t.Fatalf("re-decode record %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("re-decode record %d: got %+v want %+v", i, got, want)
+			}
+		}
+	})
+}
+
+// The delta encoding keeps long quiet gaps cheap; make sure huge deltas
+// survive (At is int64 nanoseconds, so simulations can span years).
+func TestHugeTimeDeltas(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{At: 0, Kind: OpWrite, LBA: 1, Pages: 1},
+		{At: 1<<62 - 1, Kind: OpFinish, Zone: 9},
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r := NewReader(&buf)
+	for _, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("got %+v want %+v", got, want)
+		}
+	}
+}

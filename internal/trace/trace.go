@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"blockhead/internal/sim"
 )
@@ -156,6 +157,11 @@ func (tr *Reader) Next() (Record, error) {
 		if errors.Is(err, io.EOF) {
 			return Record{}, io.EOF
 		}
+		return Record{}, ErrCorrupt
+	}
+	if dt > uint64(math.MaxInt64)-uint64(tr.lastAt) {
+		// A delta that would overflow the int64 timeline cannot have been
+		// produced by the writer.
 		return Record{}, ErrCorrupt
 	}
 	kb, err := tr.r.ReadByte()

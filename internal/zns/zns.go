@@ -27,6 +27,7 @@ import (
 	"blockhead/internal/flash"
 	"blockhead/internal/sim"
 	"blockhead/internal/stats"
+	"blockhead/internal/telemetry"
 )
 
 // ZoneState is the state machine from the ZNS specification (§2.1).
@@ -122,6 +123,21 @@ type Device struct {
 	counters stats.Counters
 	resets   uint64
 	appends  uint64
+
+	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
+	reg     *telemetry.Registry
+	tr      *telemetry.Tracer
+	mTrans  [numZoneStates]*telemetry.Counter
+	mResets *telemetry.Counter
+	mAppend *telemetry.Counter
+}
+
+// numZoneStates sizes the per-target-state transition counter array.
+const numZoneStates = int(Offline) + 1
+
+// transNames are precomputed so recording a transition never allocates.
+var transNames = [numZoneStates]string{
+	"->empty", "->open", "->closed", "->full", "->read-only", "->offline",
 }
 
 // New builds a device. ZoneBlocks defaults to 4; MaxOpen defaults to
@@ -166,6 +182,42 @@ func New(cfg Config) (*Device, error) {
 		d.data = make(map[int64][]byte)
 	}
 	return d, nil
+}
+
+// SetProbe attaches telemetry to the device and its flash chip: zone
+// state-transition counters (one per target state), active/open-zone
+// gauges, reset/append counters, and per-zone trace tracks carrying write,
+// append, reset, and state-transition events. Attach before driving I/O.
+func (d *Device) SetProbe(p *telemetry.Probe) {
+	d.chip.SetProbe(p)
+	reg := p.Registry()
+	d.reg = reg
+	d.tr = p.Tracer()
+	for s := range d.mTrans {
+		d.mTrans[s] = reg.Counter("zns/zone/state_transitions{to=" + ZoneState(s).String() + "}")
+	}
+	d.mResets = reg.Counter("zns/zone/resets")
+	d.mAppend = reg.Counter("zns/zone/appends")
+	d.tr.NameProcess(telemetry.ProcZone, "zns zones")
+	for z := range d.zones {
+		d.tr.NameTrack(telemetry.ProcZone, int32(z), fmt.Sprintf("zone %d", z))
+	}
+	reg.Gauge("zns/active_zones", func(sim.Time) float64 { return float64(d.active) })
+	reg.Gauge("zns/open_zones", func(sim.Time) float64 { return float64(d.open) })
+	reg.Gauge("zns/write_amp", func(sim.Time) float64 { return d.counters.WriteAmp() })
+}
+
+// transition moves a zone to a new state, recording the telemetry event.
+// All zone state changes must route through here so the transition counters
+// and the per-zone trace track stay complete.
+func (d *Device) transition(at sim.Time, z int, to ZoneState) {
+	zn := &d.zones[z]
+	if zn.state == to {
+		return
+	}
+	zn.state = to
+	d.mTrans[to].Inc()
+	d.tr.Instant(telemetry.ProcZone, int32(z), "zns", transNames[to], at)
 }
 
 // NumZones reports the number of zones.
@@ -245,7 +297,7 @@ func (d *Device) checkZone(z int) error {
 }
 
 // activate transitions a zone toward Open, enforcing the open/active limits.
-func (d *Device) activate(z int) error {
+func (d *Device) activate(at sim.Time, z int) error {
 	zn := &d.zones[z]
 	switch zn.state {
 	case Open:
@@ -255,7 +307,7 @@ func (d *Device) activate(z int) error {
 			return ErrTooManyOpen
 		}
 		d.open++
-		zn.state = Open
+		d.transition(at, z, Open)
 		return nil
 	case Empty:
 		if d.cfg.MaxActive != 0 && d.active >= d.cfg.MaxActive {
@@ -266,7 +318,7 @@ func (d *Device) activate(z int) error {
 		}
 		d.active++
 		d.open++
-		zn.state = Open
+		d.transition(at, z, Open)
 		return nil
 	case Offline:
 		return ErrOffline
@@ -291,7 +343,7 @@ func (d *Device) Open(at sim.Time, z int) error {
 	if err := d.checkZone(z); err != nil {
 		return err
 	}
-	return d.activate(z)
+	return d.activate(at, z)
 }
 
 // Close transitions an open zone to Closed, releasing its open-zone slot
@@ -304,7 +356,7 @@ func (d *Device) Close(at sim.Time, z int) error {
 	if zn.state != Open {
 		return ErrBadState
 	}
-	zn.state = Closed
+	d.transition(at, z, Closed)
 	d.open--
 	return nil
 }
@@ -322,12 +374,12 @@ func (d *Device) Finish(at sim.Time, z int) error {
 		if zn.state == Empty {
 			// Finishing an empty zone is legal per spec; it becomes Full
 			// without ever consuming active resources.
-			zn.state = Full
+			d.transition(at, z, Full)
 			zn.wp = zn.cap
 			return nil
 		}
 		d.release(zn)
-		zn.state = Full
+		d.transition(at, z, Full)
 		zn.wp = zn.cap
 		return nil
 	default:
@@ -379,11 +431,13 @@ func (d *Device) Reset(at sim.Time, z int) (sim.Time, error) {
 	zn.wp = 0
 	zn.cap = int64(len(zn.blocks)) * int64(d.cfg.Geom.PagesPerBlock)
 	if len(zn.blocks) == 0 {
-		zn.state = Offline
+		d.transition(at, z, Offline)
 		return done, nil
 	}
-	zn.state = Empty
+	d.tr.SpanArg(telemetry.ProcZone, int32(z), "zns", "reset", at, done, "blocks", int64(len(zn.blocks)))
+	d.transition(at, z, Empty)
 	d.resets++
+	d.mResets.Inc()
 	return done, nil
 }
 
@@ -393,19 +447,21 @@ func (d *Device) write(at sim.Time, z int, data []byte) (lba int64, done sim.Tim
 	if zn.wp >= zn.cap {
 		return 0, at, ErrZoneFull
 	}
-	if err := d.activate(z); err != nil {
+	if err := d.activate(at, z); err != nil {
 		return 0, at, err
 	}
+	d.reg.Tick(at)
 	offset := zn.wp
 	block, page := d.addr(z, offset)
 	done, err = d.chip.ProgramPage(at, block, page)
 	if err != nil {
 		return 0, at, err
 	}
+	d.tr.Span(telemetry.ProcZone, int32(z), "zns", "write", at, done)
 	zn.wp++
 	if zn.wp == zn.cap {
 		d.release(zn)
-		zn.state = Full
+		d.transition(at, z, Full)
 	}
 	lba = d.LBA(z, offset)
 	if d.data != nil && data != nil {
@@ -426,6 +482,11 @@ func (d *Device) Write(at sim.Time, lba int64, data []byte) (sim.Time, error) {
 	}
 	z, offset := d.ZoneOf(lba)
 	if offset != d.zones[z].wp {
+		// The §4.2 contention signal: a host writer lost the race for the
+		// write pointer and must retry — exactly the serialization cost zone
+		// append eliminates.
+		d.reg.Counter("zns/write/wp_conflicts").Inc()
+		d.tr.Instant(telemetry.ProcZone, int32(z), "zns", "wp_conflict", at)
 		return at, ErrNotWritePtr
 	}
 	_, done, err := d.write(at, z, data)
@@ -443,6 +504,7 @@ func (d *Device) Append(at sim.Time, z int, data []byte) (lba int64, done sim.Ti
 	lba, done, err = d.write(at, z, data)
 	if err == nil {
 		d.appends++
+		d.mAppend.Inc()
 	}
 	return lba, done, err
 }
@@ -460,6 +522,7 @@ func (d *Device) Read(at sim.Time, lba int64) (done sim.Time, data []byte, err e
 	if offset >= zn.wp {
 		return at, nil, ErrUnwritten
 	}
+	d.reg.Tick(at)
 	block, page := d.addr(z, offset)
 	done, err = d.chip.ReadPage(at, block, page)
 	if err != nil {
@@ -486,6 +549,7 @@ func (d *Device) SimpleCopy(at sim.Time, srcLBAs []int64, dstZone int) (firstLBA
 	if zn.cap-zn.wp < int64(len(srcLBAs)) {
 		return 0, at, ErrZoneFull
 	}
+	d.reg.Tick(at)
 	done = at
 	firstLBA = -1
 	for _, src := range srcLBAs {
@@ -496,7 +560,7 @@ func (d *Device) SimpleCopy(at sim.Time, srcLBAs []int64, dstZone int) (firstLBA
 		if so >= d.zones[sz].wp {
 			return 0, at, ErrUnwritten
 		}
-		if err := d.activate(dstZone); err != nil {
+		if err := d.activate(at, dstZone); err != nil {
 			return 0, at, err
 		}
 		sb, sp := d.addr(sz, so)
@@ -512,7 +576,7 @@ func (d *Device) SimpleCopy(at sim.Time, srcLBAs []int64, dstZone int) (firstLBA
 		zn.wp++
 		if zn.wp == zn.cap {
 			d.release(zn)
-			zn.state = Full
+			d.transition(at, dstZone, Full)
 		}
 		if d.data != nil {
 			if payload, ok := d.data[src]; ok {
@@ -526,6 +590,8 @@ func (d *Device) SimpleCopy(at sim.Time, srcLBAs []int64, dstZone int) (firstLBA
 			done = cDone
 		}
 	}
+	d.tr.SpanArg(telemetry.ProcZone, int32(dstZone), "zns", "simple_copy", at, done,
+		"pages", int64(len(srcLBAs)))
 	return firstLBA, done, nil
 }
 
