@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test bench-telemetry bench fuzz clean
+.PHONY: all check vet build test bench-telemetry bench fuzz update-golden clean
 
 all: check
 
@@ -20,9 +20,15 @@ test:
 	$(GO) test -race ./...
 
 # The telemetry layer's contract: with no probe attached, every instrument
-# is a nil no-op — 0 allocs/op. A regression here slows every simulation.
+# (including the latency-attribution sink) is a nil no-op — 0 allocs/op.
+# A regression here slows every simulation.
 bench-telemetry:
 	$(GO) test -run='^$$' -bench=ProbeDisabled -benchmem ./internal/telemetry/
+
+# Regenerate the pinned JSON schemas served by /metrics.json and
+# /attribution.json after a deliberate schema change.
+update-golden:
+	$(GO) test ./internal/telemetry/httpserve/ -update
 
 # The full per-table benchmark suite (slow; custom metrics carry results).
 bench:

@@ -13,19 +13,30 @@
 //
 //	znsbench -run E2,E8 -trace-out out.json -metrics-out metrics.json
 //	znsbench -run E2 -metrics-out m.json -sample-every 5ms
+//	znsbench -run E4 -serve :8077        # live dashboard + JSON endpoints
+//	znsbench -run E4,E6 -bench-json BENCH.json
 //	znsbench -cpuprofile cpu.pprof    # profile the simulator itself
 //
 // -trace-out writes Chrome trace-event JSON (open in chrome://tracing or
 // https://ui.perfetto.dev) with one track per flash channel, LUN, and zone;
 // -metrics-out writes counters, gauges, histograms, and the virtual-time
 // series sampled every -sample-every of virtual time.
+//
+// -serve starts an HTTP server with /metrics.json, /attribution.json, an
+// SSE /events stream, and a live dashboard at /; it publishes while the
+// experiments run and keeps serving the final snapshots until interrupted.
+// -bench-json writes the machine-readable results (throughput, latency
+// percentiles, per-phase attribution) suitable for committing as
+// BENCH_*.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -33,6 +44,7 @@ import (
 	"blockhead/internal/core"
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/httpserve"
 )
 
 func main() {
@@ -47,6 +59,8 @@ func main() {
 		sampleEvery = flag.Duration("sample-every", 10*time.Millisecond, "virtual-time interval between time-series samples")
 		traceCap    = flag.Int("trace-events", telemetry.DefaultTraceEvents, "trace ring capacity (older events are dropped)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
+		serve       = flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8077)")
+		benchJSON   = flag.String("bench-json", "", "write machine-readable benchmark results (BENCH_*.json schema) to this file")
 	)
 	flag.Parse()
 
@@ -72,11 +86,22 @@ func main() {
 	}
 
 	cfg := core.Config{Quick: *quick, Seed: *seed}
-	if *metricsOut != "" || *traceOut != "" || *traceText != "" {
+	if *metricsOut != "" || *traceOut != "" || *traceText != "" || *serve != "" {
 		cfg.Probe = telemetry.NewProbe(telemetry.Options{
 			SampleEvery: sim.Time((*sampleEvery).Nanoseconds()),
 			TraceEvents: *traceCap,
 		})
+	}
+	var server *httpserve.Server
+	if *serve != "" {
+		var err error
+		server, err = httpserve.New(cfg.Probe, httpserve.Options{Addr: *serve})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "znsbench:", err)
+			os.Exit(1)
+		}
+		cfg.Probe.Pub = server
+		fmt.Fprintf(os.Stderr, "znsbench: serving live telemetry at %s/\n", server.URL())
 	}
 
 	var selected []core.Experiment
@@ -92,6 +117,7 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
+	var bench []core.BenchEntry
 	for _, e := range selected {
 		rep, err := e.Run(cfg)
 		if err != nil {
@@ -99,14 +125,60 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(rep.Format())
+		bench = append(bench, rep.Bench...)
 	}
 
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, cfg, bench); err != nil {
+			fmt.Fprintf(os.Stderr, "znsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "znsbench: wrote %d benchmark entries to %s\n", len(bench), *benchJSON)
+	}
 	if cfg.Probe != nil {
 		if err := exportTelemetry(cfg.Probe, *metricsOut, *traceOut, *traceText); err != nil {
 			fmt.Fprintf(os.Stderr, "znsbench: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	if server != nil {
+		// Publish the end-of-run snapshots, then keep serving them so the
+		// endpoints stay curl-able until the user is done.
+		server.Publish(lastSampleTime(cfg.Probe.Metrics))
+		fmt.Fprintf(os.Stderr, "znsbench: runs complete; still serving at %s/ (Ctrl-C to exit)\n", server.URL())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		server.Close()
+	}
+}
+
+// benchFile is the -bench-json schema, committed as BENCH_*.json to track
+// the performance trajectory across PRs.
+type benchFile struct {
+	Schema  string            `json:"schema"`
+	Seed    int64             `json:"seed"`
+	Quick   bool              `json:"quick"`
+	Entries []core.BenchEntry `json:"entries"`
+}
+
+func writeBenchJSON(path string, cfg core.Config, entries []core.BenchEntry) error {
+	if entries == nil {
+		entries = []core.BenchEntry{}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(benchFile{
+		Schema: "blockhead/bench/v1", Seed: cfg.Seed, Quick: cfg.Quick, Entries: entries,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // exportTelemetry writes the requested telemetry outputs after the runs.

@@ -9,22 +9,27 @@
 //	zonectl -zones 8 -zone-pages 64           # custom layout
 //	zonectl -ops "append:0,append:0,finish:1,reset:0,open:2"
 //	zonectl -ops "append:0,finish:0" -trace-out t.json -metrics-out m.json
+//	zonectl -ops "append:0,reset:0" -serve :8078
 //
 // Each op is name:zone; supported ops: open, close, finish, reset, append.
 // -trace-out / -metrics-out record the op sequence through the telemetry
-// layer (see docs/observability.md).
+// layer; -serve keeps an HTTP server up after the sequence with the
+// metrics, per-phase latency attribution of the appends and resets, and
+// the live dashboard (see docs/observability.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"blockhead/internal/flash"
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/httpserve"
 	"blockhead/internal/zns"
 )
 
@@ -37,6 +42,7 @@ func main() {
 		cell       = flag.String("cell", "TLC", "cell type: SLC, MLC, TLC, QLC, PLC")
 		metricsOut = flag.String("metrics-out", "", "write metrics JSON for the op sequence to this file")
 		traceOut   = flag.String("trace-out", "", "write Chrome trace-event JSON for the op sequence to this file")
+		serve      = flag.String("serve", "", "serve the telemetry over HTTP on this address (e.g. :8078)")
 	)
 	flag.Parse()
 
@@ -47,15 +53,23 @@ func main() {
 	}
 
 	var probe *telemetry.Probe
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *serve != "" {
 		probe = telemetry.NewProbe(telemetry.Options{SampleEvery: 100 * sim.Microsecond})
 		dev.SetProbe(probe)
+	}
+	var server *httpserve.Server
+	if *serve != "" {
+		if server, err = httpserve.New(probe, httpserve.Options{Addr: *serve}); err != nil {
+			fmt.Fprintln(os.Stderr, "zonectl:", err)
+			os.Exit(1)
+		}
+		probe.Pub = server
 	}
 
 	var at sim.Time
 	if *ops != "" {
 		for _, op := range strings.Split(*ops, ",") {
-			at, err = apply(dev, at, strings.TrimSpace(op))
+			at, err = apply(dev, probe.Attribution(), at, strings.TrimSpace(op))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "zonectl: %s: %v\n", op, err)
 				os.Exit(1)
@@ -78,6 +92,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "zonectl:", err)
 			os.Exit(1)
 		}
+	}
+	if server != nil {
+		server.Publish(at)
+		fmt.Fprintf(os.Stderr, "zonectl: serving telemetry at %s/ (Ctrl-C to exit)\n", server.URL())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		server.Close()
 	}
 }
 
@@ -136,7 +158,10 @@ func buildDevice(zones, zonePages, maxActive int, cell string) (*zns.Device, err
 		ZoneBlocks: 1, MaxActive: maxActive})
 }
 
-func apply(dev *zns.Device, at sim.Time, op string) (sim.Time, error) {
+// apply runs one op. Appends and resets — the ops with device latency —
+// are bracketed as attributed writes, so /attribution.json decomposes the
+// sequence's time into phases (nil sink: no-op).
+func apply(dev *zns.Device, attr *telemetry.AttrSink, at sim.Time, op string) (sim.Time, error) {
 	name, zoneStr, ok := strings.Cut(op, ":")
 	if !ok {
 		return at, fmt.Errorf("want name:zone")
@@ -144,6 +169,16 @@ func apply(dev *zns.Device, at sim.Time, op string) (sim.Time, error) {
 	z, err := strconv.Atoi(zoneStr)
 	if err != nil {
 		return at, err
+	}
+	attributed := func(run func() (sim.Time, error)) (sim.Time, error) {
+		attr.Begin(telemetry.OpWrite, at)
+		done, err := run()
+		if err != nil {
+			attr.Drop()
+			return done, err
+		}
+		attr.End(done)
+		return done, nil
 	}
 	switch name {
 	case "open":
@@ -153,11 +188,12 @@ func apply(dev *zns.Device, at sim.Time, op string) (sim.Time, error) {
 	case "finish":
 		return at, dev.Finish(at, z)
 	case "reset":
-		done, err := dev.Reset(at, z)
-		return done, err
+		return attributed(func() (sim.Time, error) { return dev.Reset(at, z) })
 	case "append":
-		_, done, err := dev.Append(at, z, nil)
-		return done, err
+		return attributed(func() (sim.Time, error) {
+			_, done, err := dev.Append(at, z, nil)
+			return done, err
+		})
 	default:
 		return at, fmt.Errorf("unknown op %q", name)
 	}

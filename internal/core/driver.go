@@ -5,6 +5,7 @@ import (
 
 	"blockhead/internal/sim"
 	"blockhead/internal/stats"
+	"blockhead/internal/telemetry"
 	"blockhead/internal/workload"
 )
 
@@ -55,6 +56,11 @@ type MixedCfg struct {
 	Duration sim.Time
 	Warmup   sim.Time
 	Src      *workload.Source
+	// Probe, when non-nil, is ticked from the event loop and its
+	// attribution sink brackets every measured (post-warmup) read and write
+	// with a per-IO latency-attribution record. Aux ops are never
+	// attributed.
+	Probe *telemetry.Probe
 }
 
 // RunMixed drives the workload in strict virtual-time order and returns the
@@ -68,6 +74,34 @@ func RunMixed(cfg MixedCfg) MixedResult {
 	rLat := stats.NewDist(4096)
 	deadline := cfg.Start + cfg.Duration
 	warmup := cfg.Start + cfg.Warmup
+	if cfg.Probe != nil {
+		loop.OnEvent = cfg.Probe.Tick
+	}
+	// instrument brackets each measured op with an attribution record; the
+	// device layers in between charge the phases. End receives the raw
+	// completion time, before the done<=now clamp below, so the sum
+	// invariant is against the device's exact answer.
+	attr := cfg.Probe.Attribution()
+	instrument := func(op OpFunc, kind telemetry.OpKind) OpFunc {
+		if attr == nil || op == nil {
+			return op
+		}
+		return func(at sim.Time) (sim.Time, error) {
+			if at < warmup {
+				return op(at)
+			}
+			attr.Begin(kind, at)
+			done, err := op(at)
+			if err != nil {
+				attr.Drop()
+				return done, err
+			}
+			attr.End(done)
+			return done, nil
+		}
+	}
+	write := instrument(cfg.Write, telemetry.OpWrite)
+	read := instrument(cfg.Read, telemetry.OpRead)
 	fail := func(err error) {
 		if errors.Is(err, ErrStopDrive) {
 			loop.Stop()
@@ -105,10 +139,10 @@ func RunMixed(cfg MixedCfg) MixedResult {
 		}
 	}
 	if cfg.Writers > 0 && cfg.Write != nil {
-		closedLoop(cfg.Writers, cfg.Write, &res.WriteOps, wLat)
+		closedLoop(cfg.Writers, write, &res.WriteOps, wLat)
 	}
 	if cfg.Readers > 0 && cfg.Read != nil {
-		closedLoop(cfg.Readers, cfg.Read, &res.ReadOps, rLat)
+		closedLoop(cfg.Readers, read, &res.ReadOps, rLat)
 	}
 
 	// Open-loop Poisson streams: each arrival event performs its op and
@@ -136,10 +170,10 @@ func RunMixed(cfg MixedCfg) MixedResult {
 		schedule(cfg.Start)
 	}
 	if cfg.ReadRate > 0 && cfg.Read != nil {
-		openLoop(cfg.ReadRate, cfg.Read, &res.ReadOps, rLat)
+		openLoop(cfg.ReadRate, read, &res.ReadOps, rLat)
 	}
 	if cfg.WriteRate > 0 && cfg.Write != nil {
-		openLoop(cfg.WriteRate, cfg.Write, &res.WriteOps, wLat)
+		openLoop(cfg.WriteRate, write, &res.WriteOps, wLat)
 	}
 	if cfg.AuxRate > 0 && cfg.Aux != nil {
 		var auxOps uint64

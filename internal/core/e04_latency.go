@@ -6,6 +6,7 @@ import (
 	"blockhead/internal/flash"
 	"blockhead/internal/ftl"
 	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
 	"blockhead/internal/workload"
 	"blockhead/internal/zns"
 )
@@ -29,8 +30,14 @@ type E4Result struct {
 	Name         string
 	WritePagesPS float64
 	ReadMean     sim.Time
+	ReadP50      sim.Time
+	ReadP90      sim.Time
 	ReadP99      sim.Time
+	ReadP999     sim.Time
 	WriteP99     sim.Time
+	// Attr is the per-phase latency attribution accumulated over the
+	// measured window of this configuration's drive.
+	Attr telemetry.AttrSnapshot
 }
 
 // E4Conventional drives a steady-state conventional SSD: the device is
@@ -41,6 +48,8 @@ func E4Conventional(cfg Config) (E4Result, error) {
 	if err != nil {
 		return E4Result{}, err
 	}
+	probe := attrProbe(cfg)
+	dev.SetProbe(probe)
 	var at sim.Time
 	for lpn := int64(0); lpn < dev.CapacityPages(); lpn++ {
 		if at, err = dev.WritePage(at, lpn, nil); err != nil {
@@ -58,6 +67,7 @@ func E4Conventional(cfg Config) (E4Result, error) {
 	}
 	rKeys := workload.NewUniform(src, dev.CapacityPages())
 	dur, warm := e4Duration(cfg)
+	before := probe.Attr.Snapshot()
 	res := RunMixed(MixedCfg{
 		Writers: 4,
 		Write: func(t sim.Time) (sim.Time, error) {
@@ -72,6 +82,7 @@ func E4Conventional(cfg Config) (E4Result, error) {
 		Duration: dur,
 		Warmup:   warm,
 		Src:      src,
+		Probe:    probe,
 	})
 	if res.Err != nil {
 		return E4Result{}, res.Err
@@ -80,8 +91,12 @@ func E4Conventional(cfg Config) (E4Result, error) {
 		Name:         "conventional (OP 7%)",
 		WritePagesPS: res.WriteScale,
 		ReadMean:     res.ReadLat.Mean,
+		ReadP50:      res.ReadLat.P50,
+		ReadP90:      res.ReadLat.P90,
 		ReadP99:      res.ReadLat.P99,
+		ReadP999:     res.ReadLat.P999,
 		WriteP99:     res.WriteLat.P99,
+		Attr:         probe.Attr.Snapshot().Delta(before),
 	}, nil
 }
 
@@ -94,6 +109,8 @@ func E4ZNS(cfg Config) (E4Result, error) {
 	if err != nil {
 		return E4Result{}, err
 	}
+	probe := attrProbe(cfg)
+	dev.SetProbe(probe)
 	nz := dev.NumZones()
 	// Pre-fill every zone so reads have targets and reuse requires resets.
 	var at sim.Time
@@ -126,6 +143,7 @@ func E4ZNS(cfg Config) (E4Result, error) {
 		return done, err
 	}
 	dur, warm := e4Duration(cfg)
+	before := probe.Attr.Snapshot()
 	res := RunMixed(MixedCfg{
 		Writers:  4,
 		Write:    func(t sim.Time) (sim.Time, error) { return writeOne(sim.Max(t, at)) },
@@ -149,6 +167,7 @@ func E4ZNS(cfg Config) (E4Result, error) {
 		Duration: dur,
 		Warmup:   warm,
 		Src:      src,
+		Probe:    probe,
 	})
 	if res.Err != nil {
 		return E4Result{}, res.Err
@@ -157,8 +176,12 @@ func E4ZNS(cfg Config) (E4Result, error) {
 		Name:         "zns (host-scheduled resets)",
 		WritePagesPS: res.WriteScale,
 		ReadMean:     res.ReadLat.Mean,
+		ReadP50:      res.ReadLat.P50,
+		ReadP90:      res.ReadLat.P90,
 		ReadP99:      res.ReadLat.P99,
+		ReadP999:     res.ReadLat.P999,
 		WriteP99:     res.WriteLat.P99,
+		Attr:         probe.Attr.Snapshot().Delta(before),
 	}, nil
 }
 
@@ -176,7 +199,8 @@ func runE4(cfg Config) (Report, error) {
 		ID:         "E4",
 		Title:      "Mixed read/write: conventional vs ZNS",
 		PaperClaim: "60% lower average read latency, ~3x higher throughput on ZNS",
-		Header:     []string{"Device", "Write pages/s", "Read mean (us)", "Read p99 (us)", "Write p99 (us)"},
+		Header: []string{"Device", "Write pages/s", "Read mean (us)", "Read p99 (us)",
+			"Read p999 (us)", "Write p99 (us)"},
 	}
 	conv, err := E4Conventional(cfg)
 	if err != nil {
@@ -190,11 +214,31 @@ func runE4(cfg Config) (Report, error) {
 		r.AddRow(e.Name, fmt.Sprintf("%.0f", e.WritePagesPS),
 			fmt.Sprintf("%.0f", e.ReadMean.Micros()),
 			fmt.Sprintf("%.0f", e.ReadP99.Micros()),
+			fmt.Sprintf("%.0f", e.ReadP999.Micros()),
 			fmt.Sprintf("%.0f", e.WriteP99.Micros()))
+		r.AddBreakdown(e.Name, e.Attr)
+		r.Bench = append(r.Bench, BenchEntry{
+			Experiment: "E4", Name: e.Name,
+			WritePPS:   e.WritePagesPS,
+			ReadMeanUs: e.ReadMean.Micros(),
+			ReadP50Us:  e.ReadP50.Micros(),
+			ReadP90Us:  e.ReadP90.Micros(),
+			ReadP99Us:  e.ReadP99.Micros(),
+			ReadP999Us: e.ReadP999.Micros(),
+			WriteP99Us: e.WriteP99.Micros(),
+			Attribution: e.Attr.Dump(),
+		})
 	}
 	r.AddNote("throughput ratio (zns/conv): %.2fx; read-mean reduction: %.0f%%; read-p99 ratio: %.2fx",
 		z.WritePagesPS/conv.WritePagesPS,
 		(1-float64(z.ReadMean)/float64(conv.ReadMean))*100,
 		float64(conv.ReadP99)/float64(z.ReadP99))
+	if w, rd := conv.Attr.Ops[telemetry.OpWrite], conv.Attr.Ops[telemetry.OpRead]; w.Count > 0 && rd.Count > 0 {
+		r.AddNote("conventional tails decomposed: write p99=%.0fus of which gc_stall p99=%.0fus; read p99=%.0fus of which lun_wait (GC traffic) p99=%.0fus",
+			w.Total.Percentile(99).Micros(),
+			w.Phase[telemetry.PhaseGCStall].Percentile(99).Micros(),
+			rd.Total.Percentile(99).Micros(),
+			rd.Phase[telemetry.PhaseLUNWait].Percentile(99).Micros())
+	}
 	return r, nil
 }

@@ -7,6 +7,7 @@ import (
 	"blockhead/internal/ftl"
 	"blockhead/internal/hostftl"
 	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
 	"blockhead/internal/workload"
 	"blockhead/internal/zns"
 )
@@ -38,6 +39,9 @@ type E6Result struct {
 	ReadP999     sim.Time
 	WriteP99     sim.Time
 	WriteMax     sim.Time
+	// Attr is the per-phase latency attribution over the tail-latency phase
+	// (phase B) of the drive.
+	Attr telemetry.AttrSnapshot
 }
 
 // e6Stack abstracts the two configurations for the shared two-phase drive.
@@ -49,6 +53,7 @@ type e6Stack struct {
 	counters func() (hostWrites, flashPrograms uint64)
 	at       sim.Time // virtual time after pre-fill and aging
 	src      *workload.Source
+	probe    *telemetry.Probe // per-stack attribution probe
 }
 
 // The fixed offered load for the tail phase: ~55% of the conventional
@@ -82,24 +87,30 @@ func e6Measure(s e6Stack, cfg Config) (E6Result, error) {
 	resA := RunMixed(MixedCfg{
 		Writers: 2, Write: s.write,
 		Start: s.at, Duration: durA, Warmup: warm, Src: s.src,
+		Probe: s.probe,
 	})
 	if resA.Err != nil {
 		return E6Result{}, resA.Err
 	}
 	// Phase B: fixed offered load, measure read tails. The host stack runs
-	// its reclamation as a separate paced stream.
+	// its reclamation as a separate paced stream. The attribution breakdown
+	// covers this phase only — it is the one the tail claims are about.
+	beforeB := s.probe.Attribution().Snapshot()
 	resB := RunMixed(MixedCfg{
 		WriteRate: e6WriteRate, Write: s.write,
 		ReadRate: e6ReadRate, Read: s.read,
 		AuxRate: e6MaintRate(s.maintain), Aux: s.maintain,
 		Start: s.at + durA, Duration: durB, Warmup: warm, Src: s.src,
+		Probe: s.probe,
 	})
 	if resB.Err != nil {
 		return E6Result{}, resB.Err
 	}
+	attr := s.probe.Attribution().Snapshot().Delta(beforeB)
 	h1, p1 := s.counters()
 	wa := float64(p1-p0) / float64(h1-h0)
 	return E6Result{
+		Attr: attr,
 		Name:         s.name,
 		WritePagesPS: resA.WriteScale,
 		WA:           wa,
@@ -120,6 +131,8 @@ func E6Conventional(cfg Config) (E6Result, error) {
 	if err != nil {
 		return E6Result{}, err
 	}
+	probe := attrProbe(cfg)
+	dev.SetProbe(probe)
 	var at sim.Time
 	for lpn := int64(0); lpn < dev.CapacityPages(); lpn++ {
 		if at, err = dev.WritePage(at, lpn, nil); err != nil {
@@ -145,8 +158,9 @@ func E6Conventional(cfg Config) (E6Result, error) {
 			c := dev.Counters()
 			return c.HostWritePages, c.FlashProgramPages
 		},
-		at:  at,
-		src: src,
+		at:    at,
+		src:   src,
+		probe: probe,
 	}, cfg)
 }
 
@@ -176,6 +190,8 @@ func E6HostFTL(cfg Config) (E6Result, error) {
 	if err != nil {
 		return E6Result{}, err
 	}
+	probe := attrProbe(cfg)
+	f.SetProbe(probe)
 	var at sim.Time
 	src := workload.NewSource(cfg.Seed)
 	hc := workload.NewHotCold(src, f.CapacityPages(), 0.1, 0.9)
@@ -214,8 +230,9 @@ func E6HostFTL(cfg Config) (E6Result, error) {
 		counters: func() (uint64, uint64) {
 			return f.HostWrites(), f.Counters().FlashProgramPages
 		},
-		at:  at,
-		src: src,
+		at:    at,
+		src:   src,
+		probe: probe,
 	}, cfg)
 }
 
@@ -240,6 +257,19 @@ func runE6(cfg Config) (Report, error) {
 			fmt.Sprintf("%.0f", e.ReadMean.Micros()),
 			fmt.Sprintf("%.0f", e.ReadP99.Micros()),
 			fmt.Sprintf("%.0f", e.ReadP999.Micros()))
+		r.AddBreakdown(e.Name, e.Attr)
+		r.Bench = append(r.Bench, BenchEntry{
+			Experiment: "E6", Name: e.Name,
+			WritePPS:    e.WritePagesPS,
+			WriteAmp:    e.WA,
+			ReadMeanUs:  e.ReadMean.Micros(),
+			ReadP50Us:   e.ReadP50.Micros(),
+			ReadP90Us:   e.ReadP90.Micros(),
+			ReadP99Us:   e.ReadP99.Micros(),
+			ReadP999Us:  e.ReadP999.Micros(),
+			WriteP99Us:  e.WriteP99.Micros(),
+			Attribution: e.Attr.Dump(),
+		})
 	}
 	r.AddNote("tail ratio (p999 conv/host): %.1fx; throughput gain: %.0f%%",
 		float64(conv.ReadP999)/float64(host.ReadP999),

@@ -32,6 +32,24 @@ type Config struct {
 // DefaultConfig is the standard full-size run.
 func DefaultConfig() Config { return Config{Seed: 42} }
 
+// attrProbe returns a probe carrying the session's shared attribution sink
+// (and live publisher) when cfg.Probe is set, or a private sink otherwise.
+// Experiments that drive several device stacks attach one of these to each
+// stack instead of the full cfg.Probe: sharing the metric registry would
+// let the stacks overwrite each other's gauges (flash/chan/N/util etc.),
+// while the attribution sink is designed to be shared and Delta'd.
+func attrProbe(cfg Config) *telemetry.Probe {
+	sink := cfg.Probe.Attribution()
+	if sink == nil {
+		sink = telemetry.NewAttrSink()
+	}
+	p := &telemetry.Probe{Attr: sink}
+	if cfg.Probe != nil {
+		p.Pub = cfg.Probe.Pub
+	}
+	return p
+}
+
 // Report is one experiment's rendered result.
 type Report struct {
 	ID         string
@@ -40,6 +58,33 @@ type Report struct {
 	Header     []string
 	Rows       [][]string
 	Notes      []string
+	// Breakdowns are per-configuration latency-attribution sections,
+	// rendered between the table and the notes.
+	Breakdowns []Breakdown
+	// Bench are the machine-readable results (znsbench -bench-json).
+	Bench []BenchEntry
+}
+
+// Breakdown is one configuration's per-phase latency decomposition.
+type Breakdown struct {
+	Name string
+	Attr telemetry.AttrDump
+}
+
+// BenchEntry is one machine-readable benchmark result, the schema committed
+// as BENCH_*.json to track the perf trajectory across PRs.
+type BenchEntry struct {
+	Experiment  string             `json:"experiment"`
+	Name        string             `json:"name"`
+	WritePPS    float64            `json:"write_pages_per_sec"`
+	WriteAmp    float64            `json:"write_amp,omitempty"`
+	ReadMeanUs  float64            `json:"read_mean_us"`
+	ReadP50Us   float64            `json:"read_p50_us"`
+	ReadP90Us   float64            `json:"read_p90_us"`
+	ReadP99Us   float64            `json:"read_p99_us"`
+	ReadP999Us  float64            `json:"read_p999_us"`
+	WriteP99Us  float64            `json:"write_p99_us"`
+	Attribution telemetry.AttrDump `json:"attribution"`
 }
 
 // AddRow appends a formatted row.
@@ -50,6 +95,16 @@ func (r *Report) AddRow(cells ...string) {
 // AddNote appends a free-form note line.
 func (r *Report) AddNote(format string, args ...interface{}) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddBreakdown appends a latency-attribution section for one configuration.
+// Snapshots with no completed IOs are skipped.
+func (r *Report) AddBreakdown(name string, snap telemetry.AttrSnapshot) {
+	d := snap.Dump()
+	if len(d.Ops) == 0 {
+		return
+	}
+	r.Breakdowns = append(r.Breakdowns, Breakdown{Name: name, Attr: d})
 }
 
 // Format renders the report as an aligned text table.
@@ -83,6 +138,24 @@ func (r Report) Format() string {
 	line(dashes(widths))
 	for _, row := range r.Rows {
 		line(row)
+	}
+	for _, bd := range r.Breakdowns {
+		fmt.Fprintf(&b, "latency attribution — %s:\n", bd.Name)
+		for _, op := range []string{"read", "write"} {
+			od, ok := bd.Attr.Ops[op]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-5s n=%d mean=%.1fus p50=%.1fus p99=%.1fus p999=%.1fus\n",
+				op, od.Count, od.MeanUs, od.P50Us, od.P99Us, od.P999Us)
+			for _, ph := range od.Phases {
+				fmt.Fprintf(&b, "    %-12s mean=%8.1fus (%5.1f%%)  p99=%8.1fus  p999=%8.1fus\n",
+					ph.Name, ph.MeanUs, ph.Frac*100, ph.P99Us, ph.P999Us)
+			}
+		}
+		if bd.Attr.Violations > 0 {
+			fmt.Fprintf(&b, "  WARNING: %d attribution invariant violations\n", bd.Attr.Violations)
+		}
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)

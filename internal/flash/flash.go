@@ -201,6 +201,7 @@ type Device struct {
 
 	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
 	tr                     *telemetry.Tracer
+	attr                   *telemetry.AttrSink
 	mReads, mProgs, mErase *telemetry.Counter
 }
 
@@ -227,6 +228,7 @@ func New(geom Geometry, lat Latencies) *Device {
 func (d *Device) SetProbe(p *telemetry.Probe) {
 	reg := p.Registry()
 	d.tr = p.Tracer()
+	d.attr = p.Attribution()
 	d.mReads = reg.Counter("flash/read_pages")
 	d.mProgs = reg.Counter("flash/program_pages")
 	d.mErase = reg.Counter("flash/block_erases")
@@ -303,6 +305,12 @@ func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 	d.chanBusy[ch] += d.Lat.XferPage
 	d.counts.Reads++
 	d.mReads.Inc()
+	// Attribution: [at..senseStart) LUN queue, sense, [senseEnd..xferStart)
+	// bus queue, transfer — contiguous intervals covering at..done exactly.
+	d.attr.Charge(telemetry.PhaseLUNWait, senseStart-at)
+	d.attr.Charge(telemetry.PhaseNANDRead, d.Lat.ReadPage)
+	d.attr.Charge(telemetry.PhaseChanWait, xferStart-senseEnd)
+	d.attr.Charge(telemetry.PhaseXfer, d.Lat.XferPage)
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "read", senseStart, senseEnd, "block", int64(block))
 	d.tr.Span(telemetry.ProcFlashChan, int32(ch), "flash", "xfer_out", xferStart, done)
 	return done, nil
@@ -335,6 +343,10 @@ func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
 	b.nextPage++
 	d.counts.Programs++
 	d.mProgs.Inc()
+	d.attr.Charge(telemetry.PhaseChanWait, xferStart-at)
+	d.attr.Charge(telemetry.PhaseXfer, d.Lat.XferPage)
+	d.attr.Charge(telemetry.PhaseLUNWait, progStart-xferEnd)
+	d.attr.Charge(telemetry.PhaseNANDProgram, d.Lat.ProgramPage)
 	d.tr.Span(telemetry.ProcFlashChan, int32(ch), "flash", "xfer_in", xferStart, xferEnd)
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "program", progStart, done, "block", int64(block))
 	return done, nil
@@ -362,6 +374,8 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 	b.nextPage = 0
 	d.counts.Erases++
 	d.mErase.Inc()
+	d.attr.Charge(telemetry.PhaseLUNWait, eraseStart-at)
+	d.attr.Charge(telemetry.PhaseNANDErase, d.Lat.EraseBlock)
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "erase", eraseStart, done, "block", int64(block))
 	return done, nil
 }

@@ -182,6 +182,7 @@ type Device struct {
 	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
 	reg        *telemetry.Registry
 	tr         *telemetry.Tracer
+	attr       *telemetry.AttrSink
 	mGCVictims *telemetry.Counter
 	mGCCopies  *telemetry.Counter
 	mGCForced  *telemetry.Counter
@@ -303,6 +304,7 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 	reg := p.Registry()
 	d.reg = reg
 	d.tr = p.Tracer()
+	d.attr = p.Attribution()
 	d.mGCVictims = reg.Counter("ftl/gc/victims")
 	d.mGCCopies = reg.Counter("ftl/gc/copy_pages")
 	d.mGCForced = reg.Counter("ftl/gc/forced_runs")
@@ -444,6 +446,10 @@ func (d *Device) WritePageStream(at sim.Time, lpn int64, stream int, data []byte
 		return at, ErrBadStream
 	}
 	d.reg.Tick(at)
+	// GC is parallel fan-out: its chip ops suspend the attribution sink
+	// (maybeGC/forceGC suspend themselves) and the write is charged the
+	// host-visible stall — exactly how far GC pushed its start time.
+	gcFrom := at
 	at = d.maybeGC(at)
 
 	ppn, err := d.allocPage(stream, false)
@@ -455,6 +461,7 @@ func (d *Device) WritePageStream(at sim.Time, lpn int64, stream int, data []byte
 			return at, err
 		}
 	}
+	d.attr.Charge(telemetry.PhaseGCStall, at-gcFrom)
 	done, err := d.chip.ProgramPage(at, d.blockOf(ppn), d.pageOf(ppn))
 	if err != nil {
 		return at, err

@@ -21,6 +21,11 @@ import (
 // A5 quantifies exactly how much of the paper's tail argument survives
 // this generosity.
 func (d *Device) maybeGC(at sim.Time) sim.Time {
+	// Relocations fan out across LUNs concurrently; per-copy attribution
+	// would double-count overlapped time, so the sink is suspended and the
+	// caller charges the host-visible stall (how far `at` advanced) instead.
+	d.attr.Suspend()
+	defer d.attr.Resume()
 	if d.cfg.GCMode == GCDeviceIncremental {
 		return d.incrementalGC(at)
 	}
@@ -170,6 +175,8 @@ func (d *Device) relocateChunk(at sim.Time, victim, budget int) (moved int, done
 // write streams, one stream's frontiers can be empty while the aggregate
 // hostSlots figure still looks healthy, so the regular trigger never fired.
 func (d *Device) forceGC(at sim.Time) sim.Time {
+	d.attr.Suspend()
+	defer d.attr.Resume()
 	d.mGCForced.Inc()
 	for d.freeCount <= gcReserveBlocks+1 {
 		victim := d.pickVictim(at)

@@ -121,6 +121,7 @@ type FTL struct {
 	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
 	reg          *telemetry.Registry
 	tr           *telemetry.Tracer
+	attr         *telemetry.AttrSink
 	mRelocPages  *telemetry.Counter
 	mGCResets    *telemetry.Counter
 	mEmergencies *telemetry.Counter
@@ -196,6 +197,7 @@ func (f *FTL) SetProbe(p *telemetry.Probe) {
 	reg := p.Registry()
 	f.reg = reg
 	f.tr = p.Tracer()
+	f.attr = p.Attribution()
 	f.mRelocPages = reg.Counter("hostftl/reclaim/copy_pages")
 	f.mGCResets = reg.Counter("hostftl/reclaim/zone_resets")
 	f.mEmergencies = reg.Counter("hostftl/reclaim/emergencies")
@@ -337,6 +339,9 @@ func (f *FTL) WriteStream(at sim.Time, lpn int64, stream int, data []byte) (sim.
 	if f.lastStall > 0 {
 		f.hStall.Observe(f.lastStall)
 	}
+	// reclaim() suspended per-op attribution; the write is charged the
+	// host-visible stall it caused, keeping phases summing to done-start.
+	f.attr.Charge(telemetry.PhaseGCStall, f.lastStall)
 	return done, nil
 }
 

@@ -24,6 +24,10 @@ const (
 func (f *FTL) MaintenanceStep(at sim.Time, budget, targetFree int) bool {
 	f.maintTicks++
 	f.reg.Tick(at)
+	// Maintenance is background work: never attribute its device ops to
+	// whatever host IO record happens to be open.
+	f.attr.Suspend()
+	defer f.attr.Resume()
 	if len(f.freeZones) > targetFree {
 		return false
 	}
@@ -39,6 +43,10 @@ func (f *FTL) MaintenanceStep(at sim.Time, budget, targetFree int) bool {
 // scheduling, §4.1), so the returned time equals at; the cost surfaces only
 // as device-resource contention.
 func (f *FTL) reclaim(at sim.Time) sim.Time {
+	// Relocation fans out across zones/LUNs; the caller charges the
+	// host-visible stall (how far `at` advanced) as one phase instead.
+	f.attr.Suspend()
+	defer f.attr.Resume()
 	switch f.cfg.GCMode {
 	case GCIncremental:
 		if len(f.freeZones) <= 1 {

@@ -185,6 +185,30 @@ func (h *Histogram) Percentile(p float64) sim.Time {
 	return h.max
 }
 
+// Delta returns the histogram of samples recorded since prev was captured.
+// All fields but max are monotonic, so the subtraction is exact; max cannot
+// be recovered from a cumulative pair, so the delta's max is the upper edge
+// of its highest non-empty bucket (an upper bound), or the cumulative max
+// when that bucket is the cumulative max's own bucket.
+func (h Histogram) Delta(prev Histogram) Histogram {
+	d := Histogram{count: h.count - prev.count, sum: h.sum - prev.sum}
+	top := -1
+	for i := range h.buckets {
+		d.buckets[i] = h.buckets[i] - prev.buckets[i]
+		if d.buckets[i] > 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		if bucketOf(h.max) == top {
+			d.max = h.max
+		} else {
+			d.max = sim.Time(1) << uint(top+1)
+		}
+	}
+	return d
+}
+
 // Counters tracks the byte- and operation-level accounting every device
 // model exposes. Write amplification, PCIe traffic, and DRAM footprints in
 // the experiment tables are all derived from these fields.

@@ -1,0 +1,397 @@
+package telemetry
+
+import (
+	"blockhead/internal/sim"
+	"blockhead/internal/stats"
+)
+
+// Phase names one component of an IO's end-to-end latency. The attribution
+// layer decomposes every measured IO into these phases with a hard
+// invariant: the per-phase charges sum *exactly* (zero-tick slack) to the
+// end-to-end virtual-time latency. That exactness is possible because the
+// simulator is a discrete-event model — sim.Resource reports the precise
+// start and end of every acquisition, so each layer can charge contiguous
+// sub-intervals of the IO's lifetime with nothing left over.
+type Phase int
+
+const (
+	// PhaseHostQueue is time spent queued host-side before the device sees
+	// the command (software queues, host-side admission).
+	PhaseHostQueue Phase = iota
+	// PhaseWPSerial is write-pointer serialization: a zone append waiting
+	// behind the previous program to the same zone (the per-zone sequential
+	// write constraint, §2.3).
+	PhaseWPSerial
+	// PhaseGCStall is time the host op stalled behind reclamation —
+	// device-side garbage collection (internal/ftl) or host-side zone
+	// reclaim (internal/hostftl).
+	PhaseGCStall
+	// PhaseZoneReset is an inline zone reset (stripe-wide erase) on the
+	// write path, e.g. a circular log recycling its oldest zone.
+	PhaseZoneReset
+	// PhaseDevCopy is an inline device-side simple-copy (§2.3) on the
+	// op's critical path.
+	PhaseDevCopy
+	// PhaseChanWait is channel-bus arbitration: waiting for the shared
+	// channel to go idle before a page transfer.
+	PhaseChanWait
+	// PhaseXfer is the page moving over the channel bus.
+	PhaseXfer
+	// PhaseLUNWait is die contention: waiting for the LUN (plane) to finish
+	// someone else's cell operation.
+	PhaseLUNWait
+	// PhaseNANDRead is the raw cell sense time.
+	PhaseNANDRead
+	// PhaseNANDProgram is the raw cell program time.
+	PhaseNANDProgram
+	// PhaseNANDErase is the raw block erase time.
+	PhaseNANDErase
+
+	// NumPhases is the number of attribution phases.
+	NumPhases = int(PhaseNANDErase) + 1
+)
+
+var phaseNames = [NumPhases]string{
+	"host_queue",
+	"wp_serial",
+	"gc_stall",
+	"zone_reset",
+	"dev_copy",
+	"chan_wait",
+	"bus_xfer",
+	"lun_wait",
+	"nand_read",
+	"nand_program",
+	"nand_erase",
+}
+
+// String returns the phase's stable wire name (used in JSON exports and
+// report tables).
+func (p Phase) String() string {
+	if p < 0 || int(p) >= NumPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// OpKind classifies an attributed IO.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+
+	// NumOps is the number of op kinds.
+	NumOps = int(OpWrite) + 1
+)
+
+var opNames = [NumOps]string{"read", "write"}
+
+// String returns the op kind's stable wire name.
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= NumOps {
+		return "unknown"
+	}
+	return opNames[k]
+}
+
+// OpAttr aggregates attribution for one op kind. Phase means are exact
+// (PhaseSum is an exact virtual-time total); the per-phase histograms give
+// log-bucketed tail percentiles. Every completed IO observes into *every*
+// phase histogram (zero for phases it never entered), so a phase p99 reads
+// as "99% of these ops spent at most this long in this phase".
+type OpAttr struct {
+	Count    uint64
+	TotalSum sim.Time
+	Total    stats.Histogram
+	PhaseSum [NumPhases]sim.Time
+	Phase    [NumPhases]stats.Histogram
+}
+
+// Delta returns the aggregate accumulated since prev was captured. All
+// fields of OpAttr are monotonic, so subtraction is exact (histogram maxes
+// are upper bounds; see stats.Histogram.Delta).
+func (a OpAttr) Delta(prev OpAttr) OpAttr {
+	d := OpAttr{
+		Count:    a.Count - prev.Count,
+		TotalSum: a.TotalSum - prev.TotalSum,
+		Total:    a.Total.Delta(prev.Total),
+	}
+	for p := 0; p < NumPhases; p++ {
+		d.PhaseSum[p] = a.PhaseSum[p] - prev.PhaseSum[p]
+		d.Phase[p] = a.Phase[p].Delta(prev.Phase[p])
+	}
+	return d
+}
+
+// MeanPhase reports the exact mean time per IO spent in phase p.
+func (a OpAttr) MeanPhase(p Phase) sim.Time {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.PhaseSum[p] / sim.Time(a.Count)
+}
+
+// AttrSnapshot is a copyable snapshot of an AttrSink's aggregates.
+type AttrSnapshot struct {
+	Ops        [NumOps]OpAttr
+	Violations uint64
+}
+
+// Delta returns the aggregates accumulated since prev.
+func (s AttrSnapshot) Delta(prev AttrSnapshot) AttrSnapshot {
+	d := AttrSnapshot{Violations: s.Violations - prev.Violations}
+	for k := 0; k < NumOps; k++ {
+		d.Ops[k] = s.Ops[k].Delta(prev.Ops[k])
+	}
+	return d
+}
+
+// AttrSink collects per-IO latency attribution. One record is active at a
+// time — the simulator executes device ops synchronously, so the host
+// driver brackets each measured op with Begin/End and the layers in between
+// call Charge for the sub-intervals they own.
+//
+// The nil *AttrSink is a valid no-op on every method, and no method
+// allocates: the hot path stays 0 allocs/op with telemetry disabled
+// (pinned by bench_test.go) and allocation-free when enabled.
+type AttrSink struct {
+	active    bool
+	suspended int
+	op        OpKind
+	start     sim.Time
+	cur       [NumPhases]sim.Time
+
+	ops        [NumOps]OpAttr
+	violations uint64
+
+	// OnComplete, if set, observes every completed IO: op kind, exact
+	// end-to-end latency, and the per-phase charges. Test hook for the
+	// sum(phases) == total invariant; may allocate, so leave nil outside
+	// tests.
+	OnComplete func(op OpKind, total sim.Time, phases [NumPhases]sim.Time)
+}
+
+// NewAttrSink returns an empty sink.
+func NewAttrSink() *AttrSink { return &AttrSink{} }
+
+// Begin opens the attribution record for one measured IO issued at start.
+// No-op on a nil sink. A Begin while a record is open abandons the old
+// record (counted as a violation: the driver failed to End or Drop it).
+func (s *AttrSink) Begin(op OpKind, start sim.Time) {
+	if s == nil {
+		return
+	}
+	if s.active {
+		s.violations++
+	}
+	s.active = true
+	s.suspended = 0
+	s.op = op
+	s.start = start
+	s.cur = [NumPhases]sim.Time{}
+}
+
+// Charge attributes d of the active IO's latency to phase p. No-op when the
+// sink is nil, no record is open (unmeasured work: prefill, warmup,
+// background maintenance), the sink is suspended (parallel fan-out — the
+// enclosing layer charges wall-clock instead), or d <= 0.
+func (s *AttrSink) Charge(p Phase, d sim.Time) {
+	if s == nil || !s.active || s.suspended > 0 || d <= 0 {
+		return
+	}
+	s.cur[p] += d
+}
+
+// Reclassify moves up to d of the active record's charge from one phase to
+// another, preserving the sum invariant. The zns layer uses it to relabel
+// LUN-wait as write-pointer serialization when the wait was behind the same
+// zone's previous program.
+func (s *AttrSink) Reclassify(from, to Phase, d sim.Time) {
+	if s == nil || !s.active || d <= 0 {
+		return
+	}
+	if d > s.cur[from] {
+		d = s.cur[from]
+	}
+	s.cur[from] -= d
+	s.cur[to] += d
+}
+
+// Value reports the active record's current charge for phase p (0 if nil
+// or no record is open). Layers use it to measure what their callees just
+// charged, e.g. before a Reclassify.
+func (s *AttrSink) Value(p Phase) sim.Time {
+	if s == nil || !s.active {
+		return 0
+	}
+	return s.cur[p]
+}
+
+// Suspend stops Charge from accumulating until the matching Resume. Layers
+// that fan work out in parallel (GC relocations across LUNs, stripe-wide
+// zone resets, simple-copy batches) suspend the sink around the fan-out and
+// charge the IO one wall-clock phase instead — per-sub-op charges would
+// double-count time that elapsed concurrently. Suspensions nest.
+func (s *AttrSink) Suspend() {
+	if s == nil {
+		return
+	}
+	s.suspended++
+}
+
+// Resume undoes one Suspend.
+func (s *AttrSink) Resume() {
+	if s == nil {
+		return
+	}
+	if s.suspended > 0 {
+		s.suspended--
+	}
+}
+
+// End closes the active record for an IO that completed at done, checks the
+// sum invariant, and folds the record into the per-op aggregates. A record
+// whose phases do not sum exactly to done-start increments Violations (it
+// is still aggregated, so the discrepancy is visible, not hidden).
+func (s *AttrSink) End(done sim.Time) {
+	if s == nil || !s.active {
+		return
+	}
+	s.active = false
+	total := done - s.start
+	var sum sim.Time
+	for p := 0; p < NumPhases; p++ {
+		sum += s.cur[p]
+	}
+	if sum != total || s.suspended != 0 {
+		s.violations++
+	}
+	a := &s.ops[s.op]
+	a.Count++
+	a.TotalSum += total
+	a.Total.Add(total)
+	for p := 0; p < NumPhases; p++ {
+		a.PhaseSum[p] += s.cur[p]
+		a.Phase[p].Add(s.cur[p])
+	}
+	if s.OnComplete != nil {
+		s.OnComplete(s.op, total, s.cur)
+	}
+}
+
+// Drop abandons the active record without aggregating it — for IOs that
+// fail partway (their charges are meaningless).
+func (s *AttrSink) Drop() {
+	if s == nil {
+		return
+	}
+	s.active = false
+	s.suspended = 0
+}
+
+// Active reports whether a record is open.
+func (s *AttrSink) Active() bool { return s != nil && s.active }
+
+// Violations reports how many records broke the attribution contract
+// (phases not summing to total, unbalanced suspends, Begin over an open
+// record). Always 0 in a correct build; the invariant test asserts it.
+func (s *AttrSink) Violations() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.violations
+}
+
+// Op returns a copy of the aggregates for one op kind.
+func (s *AttrSink) Op(k OpKind) OpAttr {
+	if s == nil {
+		return OpAttr{}
+	}
+	return s.ops[k]
+}
+
+// Snapshot returns a copy of all aggregates. Snapshots of a shared sink
+// taken before and after an experiment Delta into that experiment's own
+// breakdown.
+func (s *AttrSink) Snapshot() AttrSnapshot {
+	if s == nil {
+		return AttrSnapshot{}
+	}
+	return AttrSnapshot{Ops: s.ops, Violations: s.violations}
+}
+
+// AttrDump is the JSON shape of an attribution export.
+type AttrDump struct {
+	Violations uint64                `json:"violations"`
+	Ops        map[string]OpAttrDump `json:"ops"`
+}
+
+// OpAttrDump is the JSON shape of one op kind's attribution aggregate.
+// Phases are in display order and omit phases this op never entered.
+type OpAttrDump struct {
+	Count  uint64      `json:"count"`
+	MeanUs float64     `json:"mean_us"`
+	P50Us  float64     `json:"p50_us"`
+	P90Us  float64     `json:"p90_us"`
+	P99Us  float64     `json:"p99_us"`
+	P999Us float64     `json:"p999_us"`
+	MaxUs  float64     `json:"max_us"`
+	Phases []PhaseDump `json:"phases"`
+}
+
+// PhaseDump is one phase of an op's latency decomposition. MeanUs is exact;
+// Frac is this phase's share of the op's total latency; the percentiles are
+// log-bucket upper bounds over all IOs of the op kind (zeros included).
+type PhaseDump struct {
+	Name   string  `json:"name"`
+	MeanUs float64 `json:"mean_us"`
+	Frac   float64 `json:"frac"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// Dump converts the snapshot to its JSON shape.
+func (s AttrSnapshot) Dump() AttrDump {
+	d := AttrDump{Violations: s.Violations, Ops: map[string]OpAttrDump{}}
+	for k := 0; k < NumOps; k++ {
+		a := s.Ops[k]
+		if a.Count == 0 {
+			continue
+		}
+		od := OpAttrDump{
+			Count:  a.Count,
+			MeanUs: (a.TotalSum / sim.Time(a.Count)).Micros(),
+			P50Us:  a.Total.Percentile(50).Micros(),
+			P90Us:  a.Total.Percentile(90).Micros(),
+			P99Us:  a.Total.Percentile(99).Micros(),
+			P999Us: a.Total.Percentile(99.9).Micros(),
+			MaxUs:  a.Total.Max().Micros(),
+			Phases: []PhaseDump{},
+		}
+		for p := 0; p < NumPhases; p++ {
+			if a.PhaseSum[p] == 0 {
+				continue
+			}
+			frac := 0.0
+			if a.TotalSum > 0 {
+				frac = float64(a.PhaseSum[p]) / float64(a.TotalSum)
+			}
+			od.Phases = append(od.Phases, PhaseDump{
+				Name:   Phase(p).String(),
+				MeanUs: a.MeanPhase(Phase(p)).Micros(),
+				Frac:   frac,
+				P99Us:  a.Phase[p].Percentile(99).Micros(),
+				P999Us: a.Phase[p].Percentile(99.9).Micros(),
+				MaxUs:  a.Phase[p].Max().Micros(),
+			})
+		}
+		d.Ops[opNames[k]] = od
+	}
+	return d
+}
+
+// Dump converts the sink's current aggregates to their JSON shape. Safe on
+// a nil sink (empty dump).
+func (s *AttrSink) Dump() AttrDump { return s.Snapshot().Dump() }

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+
+	"blockhead/internal/sim"
+)
+
+func TestAttrSinkNilSafe(t *testing.T) {
+	var s *AttrSink
+	s.Begin(OpWrite, 0)
+	s.Charge(PhaseGCStall, sim.Millisecond)
+	s.Reclassify(PhaseLUNWait, PhaseWPSerial, sim.Microsecond)
+	s.Suspend()
+	s.Resume()
+	s.End(sim.Second)
+	s.Drop()
+	if s.Active() || s.Violations() != 0 || s.Value(PhaseGCStall) != 0 {
+		t.Fatal("nil sink must report zero state")
+	}
+	if got := s.Snapshot(); got.Ops[OpWrite].Count != 0 {
+		t.Fatal("nil sink snapshot must be empty")
+	}
+	if d := s.Dump(); len(d.Ops) != 0 {
+		t.Fatal("nil sink dump must be empty")
+	}
+}
+
+func TestAttrSumInvariant(t *testing.T) {
+	s := NewAttrSink()
+	var seen int
+	s.OnComplete = func(op OpKind, total sim.Time, phases [NumPhases]sim.Time) {
+		seen++
+		var sum sim.Time
+		for _, d := range phases {
+			sum += d
+		}
+		if sum != total {
+			t.Fatalf("phases sum %v != total %v", sum, total)
+		}
+	}
+	s.Begin(OpWrite, 100)
+	s.Charge(PhaseGCStall, 40)
+	s.Charge(PhaseNANDProgram, 60)
+	s.End(200)
+	if seen != 1 {
+		t.Fatalf("OnComplete saw %d records, want 1", seen)
+	}
+	if v := s.Violations(); v != 0 {
+		t.Fatalf("violations = %d, want 0", v)
+	}
+	a := s.Op(OpWrite)
+	if a.Count != 1 || a.TotalSum != 100 || a.PhaseSum[PhaseGCStall] != 40 {
+		t.Fatalf("bad aggregate: %+v", a)
+	}
+
+	// A record that does not cover the total must count as a violation.
+	s.OnComplete = nil
+	s.Begin(OpRead, 0)
+	s.Charge(PhaseNANDRead, 10)
+	s.End(50) // 40 ticks unattributed
+	if v := s.Violations(); v != 1 {
+		t.Fatalf("violations = %d, want 1", v)
+	}
+}
+
+func TestAttrChargeOutsideRecord(t *testing.T) {
+	s := NewAttrSink()
+	s.Charge(PhaseGCStall, sim.Second) // no Begin: prefill-style traffic
+	s.Begin(OpWrite, 0)
+	s.End(0)
+	if got := s.Op(OpWrite).PhaseSum[PhaseGCStall]; got != 0 {
+		t.Fatalf("charge outside a record leaked: %v", got)
+	}
+	if s.Violations() != 0 {
+		t.Fatalf("zero-latency op is not a violation")
+	}
+}
+
+func TestAttrSuspendResume(t *testing.T) {
+	s := NewAttrSink()
+	s.Begin(OpWrite, 0)
+	s.Suspend()
+	s.Suspend()
+	s.Charge(PhaseNANDProgram, 100) // suppressed (fan-out work)
+	s.Resume()
+	s.Charge(PhaseNANDProgram, 100) // still suppressed: one level left
+	s.Resume()
+	s.Charge(PhaseGCStall, 70)
+	s.End(70)
+	if v := s.Violations(); v != 0 {
+		t.Fatalf("violations = %d, want 0", v)
+	}
+	if got := s.Op(OpWrite).PhaseSum[PhaseNANDProgram]; got != 0 {
+		t.Fatalf("suspended charges leaked: %v", got)
+	}
+}
+
+func TestAttrReclassifyClamps(t *testing.T) {
+	s := NewAttrSink()
+	s.Begin(OpWrite, 0)
+	s.Charge(PhaseLUNWait, 30)
+	s.Reclassify(PhaseLUNWait, PhaseWPSerial, 100) // more than charged
+	if got := s.Value(PhaseWPSerial); got != 30 {
+		t.Fatalf("reclassified %v, want clamp to 30", got)
+	}
+	if got := s.Value(PhaseLUNWait); got != 0 {
+		t.Fatalf("lun_wait left %v, want 0", got)
+	}
+	s.End(30)
+	if s.Violations() != 0 {
+		t.Fatal("reclassify must preserve the sum")
+	}
+}
+
+func TestAttrBeginOverOpenRecord(t *testing.T) {
+	s := NewAttrSink()
+	s.Begin(OpWrite, 0)
+	s.Begin(OpRead, 10) // driver bug: previous record neither ended nor dropped
+	s.End(10)
+	if s.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", s.Violations())
+	}
+}
+
+func TestAttrSnapshotDelta(t *testing.T) {
+	s := NewAttrSink()
+	record := func(total sim.Time) {
+		s.Begin(OpRead, 0)
+		s.Charge(PhaseNANDRead, total)
+		s.End(total)
+	}
+	record(10)
+	record(20)
+	before := s.Snapshot()
+	record(40)
+	d := s.Snapshot().Delta(before)
+	if d.Ops[OpRead].Count != 1 || d.Ops[OpRead].TotalSum != 40 {
+		t.Fatalf("delta = %+v, want 1 op totaling 40", d.Ops[OpRead])
+	}
+	if d.Ops[OpRead].Total.Count() != 1 {
+		t.Fatalf("delta histogram count = %d, want 1", d.Ops[OpRead].Total.Count())
+	}
+}
+
+func TestAttrDumpShape(t *testing.T) {
+	s := NewAttrSink()
+	s.Begin(OpWrite, 0)
+	s.Charge(PhaseGCStall, 3*sim.Millisecond)
+	s.Charge(PhaseNANDProgram, 700*sim.Microsecond)
+	s.End(3*sim.Millisecond + 700*sim.Microsecond)
+	raw, err := json.Marshal(s.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d AttrDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatal(err)
+	}
+	od, ok := d.Ops["write"]
+	if !ok {
+		t.Fatalf("dump missing write op: %s", raw)
+	}
+	if od.Count != 1 || len(od.Phases) != 2 {
+		t.Fatalf("dump = %+v, want 1 op with 2 phases", od)
+	}
+	var frac float64
+	for _, ph := range od.Phases {
+		frac += ph.Frac
+	}
+	if frac < 0.999 || frac > 1.001 {
+		t.Fatalf("phase fractions sum to %v, want 1", frac)
+	}
+}
+
+// The attribution hot path must not allocate, enabled or disabled.
+func TestAttrZeroAllocs(t *testing.T) {
+	var nilSink *AttrSink
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nilSink.Begin(OpWrite, 0)
+		nilSink.Charge(PhaseGCStall, 10)
+		nilSink.Suspend()
+		nilSink.Resume()
+		nilSink.End(10)
+	}); allocs != 0 {
+		t.Fatalf("nil sink allocates %.1f allocs/op, want 0", allocs)
+	}
+	s := NewAttrSink()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.Begin(OpWrite, 0)
+		s.Charge(PhaseGCStall, 10)
+		s.Reclassify(PhaseGCStall, PhaseWPSerial, 5)
+		s.End(10)
+	}); allocs != 0 {
+		t.Fatalf("live sink allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -16,6 +16,7 @@ func BenchmarkProbeDisabled(b *testing.B) {
 		tr *Tracer
 		r  *Registry
 		p  *Probe
+		a  *AttrSink
 	)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -27,6 +28,11 @@ func BenchmarkProbeDisabled(b *testing.B) {
 		tr.InstantArg(ProcZone, 9, "zone", "->open", at, "zone", 9)
 		r.Tick(at)
 		p.Tick(at)
+		a.Begin(OpRead, at)
+		a.Charge(PhaseNANDRead, 40*sim.Microsecond)
+		a.Suspend()
+		a.Resume()
+		a.End(at + 40*sim.Microsecond)
 	}
 }
 
@@ -58,12 +64,16 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 		c  *Counter
 		tr *Tracer
 		r  *Registry
+		a  *AttrSink
 	)
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		tr.Span(ProcFTL, 0, "ftl", "gc", 0, sim.Millisecond)
 		tr.Instant(ProcZone, 1, "zone", "->open", 0)
 		r.Tick(sim.Second)
+		a.Begin(OpWrite, 0)
+		a.Charge(PhaseGCStall, sim.Millisecond)
+		a.End(sim.Millisecond)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled path allocates %.1f allocs/op, want 0", allocs)

@@ -145,6 +145,7 @@ type HistDump struct {
 	MeanUs float64 `json:"mean_us"`
 	P50Us  float64 `json:"p50_us"`
 	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
 	MaxUs  float64 `json:"max_us"`
 }
 
@@ -187,6 +188,7 @@ func (r *Registry) Dump(at sim.Time) MetricsDump {
 			MeanUs: h.Mean().Micros(),
 			P50Us:  h.Percentile(50).Micros(),
 			P99Us:  h.Percentile(99).Micros(),
+			P999Us: h.Percentile(99.9).Micros(),
 			MaxUs:  h.Max().Micros(),
 		}
 	}

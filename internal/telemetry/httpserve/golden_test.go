@@ -1,0 +1,56 @@
+package httpserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blockhead/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The JSON shapes of /metrics.json and /attribution.json are consumed by
+// the dashboard and by anything scraping the endpoints, so schema drift
+// must be a deliberate, reviewed change: these tests pin the exact bytes
+// produced for a fixed probe. Regenerate with `go test ./... -update`.
+func TestGoldenSchemas(t *testing.T) {
+	p := testProbe()
+	for _, tc := range []struct {
+		name   string
+		golden string
+		dump   interface{}
+	}{
+		{"metrics", "metrics.golden.json", p.Registry().Dump(4 * sim.Millisecond)},
+		{"attribution", "attribution.golden.json", p.Attribution().Dump()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := json.MarshalIndent(tc.dump, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/telemetry/httpserve -update` to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s schema drifted from golden file %s.\ngot:\n%s\nwant:\n%s",
+					tc.name, path, got, want)
+			}
+		})
+	}
+}

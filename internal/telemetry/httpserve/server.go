@@ -1,0 +1,275 @@
+// Package httpserve exposes a running simulation's telemetry over HTTP:
+// JSON snapshots of the metrics registry and the latency-attribution sink,
+// a server-sent-events stream of live samples, and an embedded single-file
+// dashboard. Everything is stdlib.
+//
+// The simulator is single-threaded, so the server never touches the
+// registry or sink itself: the simulation thread pushes marshaled
+// snapshots through Publisher.MaybePublish (wired via Probe.Pub), and the
+// HTTP handlers serve those bytes under a mutex. Wall-clock throttling
+// keeps the publish cost invisible to the simulation.
+package httpserve
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
+)
+
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// Options parameterizes New.
+type Options struct {
+	// Addr is the listen address, e.g. ":8080" or "127.0.0.1:0".
+	Addr string
+	// PublishEvery is the minimum wall-clock interval between snapshot
+	// publishes; 0 selects 500ms.
+	PublishEvery time.Duration
+	// CheckEveryTicks is how many MaybePublish calls elapse between
+	// wall-clock checks (rounded up to a power of two); 0 selects 1024.
+	// The pre-check keeps the per-event cost of an armed publisher to a
+	// counter increment and a mask.
+	CheckEveryTicks int
+}
+
+// Server is a live telemetry endpoint. It implements telemetry.Publisher;
+// attach it with probe.Pub = srv.
+type Server struct {
+	probe *telemetry.Probe
+	ln    net.Listener
+	srv   *http.Server
+
+	interval time.Duration
+	tickMask uint64
+	ticks    uint64   // sim-thread only
+	lastAt   sim.Time // latest virtual time seen; sim-thread only
+
+	mu      sync.Mutex
+	lastPub time.Time
+	seq     uint64
+	metrics []byte // marshaled telemetry.MetricsDump
+	attr    []byte // marshaled telemetry.AttrDump
+	sample  []byte // marshaled sampleEvent (latest SSE payload)
+
+	subMu sync.Mutex
+	subs  map[chan []byte]struct{}
+}
+
+// sampleEvent is one SSE "sample" payload: the instantaneous gauge values
+// plus a per-op attribution summary, enough for the dashboard to extend its
+// live charts without refetching the full snapshots.
+type sampleEvent struct {
+	Seq      uint64             `json:"seq"`
+	AtMillis float64            `json:"at_ms"` // virtual time
+	Gauges   map[string]float64 `json:"gauges"`
+	Ops      map[string]opBrief `json:"ops"`
+}
+
+// opBrief is the rolling per-op summary carried in each sample.
+type opBrief struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+// New starts a server listening on opts.Addr and publishes an initial
+// snapshot so the endpoints are never empty. Call Close to stop it.
+func New(probe *telemetry.Probe, opts Options) (*Server, error) {
+	if opts.PublishEvery <= 0 {
+		opts.PublishEvery = 500 * time.Millisecond
+	}
+	ticks := opts.CheckEveryTicks
+	if ticks <= 0 {
+		ticks = 1024
+	}
+	mask := uint64(1)
+	for int(mask) < ticks {
+		mask <<= 1
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: %w", err)
+	}
+	s := &Server{
+		probe:    probe,
+		ln:       ln,
+		interval: opts.PublishEvery,
+		tickMask: mask - 1,
+		subs:     make(map[chan []byte]struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics.json", s.handleMetrics)
+	mux.HandleFunc("/attribution.json", s.handleAttribution)
+	mux.HandleFunc("/events", s.handleEvents)
+	s.srv = &http.Server{Handler: mux}
+	s.Publish(0)
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr reports the bound listen address (resolves ":0" to the real port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL reports the server's base URL.
+func (s *Server) URL() string {
+	host, port, err := net.SplitHostPort(s.Addr())
+	if err != nil {
+		return "http://" + s.Addr()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "localhost"
+	}
+	return fmt.Sprintf("http://%s:%s", host, port)
+}
+
+// MaybePublish implements telemetry.Publisher: called on every probe tick
+// from the simulation thread, it republishes at most every PublishEvery of
+// wall-clock time, and only consults the clock every CheckEveryTicks calls.
+func (s *Server) MaybePublish(at sim.Time) {
+	if at > s.lastAt {
+		s.lastAt = at
+	}
+	s.ticks++
+	if s.ticks&s.tickMask != 0 {
+		return
+	}
+	s.mu.Lock()
+	due := time.Since(s.lastPub) >= s.interval
+	s.mu.Unlock()
+	if due {
+		s.Publish(at)
+	}
+}
+
+// Publish marshals fresh snapshots at virtual time at and broadcasts a
+// sample to the SSE subscribers. It must run on the thread that owns the
+// probe (the simulation loop, or its owner once the loop has stopped).
+// An `at` behind the latest MaybePublish time is advanced to it, so a
+// caller issuing a final end-of-run publish can pass 0.
+func (s *Server) Publish(at sim.Time) {
+	if s.lastAt > at {
+		at = s.lastAt
+	}
+	md := s.probe.Registry().Dump(at)
+	ad := s.probe.Attribution().Dump()
+	metrics, err := json.Marshal(md)
+	if err != nil {
+		metrics = []byte("{}")
+	}
+	attr, err := json.Marshal(ad)
+	if err != nil {
+		attr = []byte("{}")
+	}
+
+	s.mu.Lock()
+	s.seq++
+	ev := sampleEvent{Seq: s.seq, AtMillis: at.Millis(), Gauges: md.Gauges,
+		Ops: make(map[string]opBrief, len(ad.Ops))}
+	for op, od := range ad.Ops {
+		ev.Ops[op] = opBrief{Count: od.Count, MeanUs: od.MeanUs, P99Us: od.P99Us}
+	}
+	sample, err := json.Marshal(ev)
+	if err != nil {
+		sample = []byte("{}")
+	}
+	s.metrics, s.attr, s.sample = metrics, attr, sample
+	s.lastPub = time.Now()
+	s.mu.Unlock()
+
+	s.subMu.Lock()
+	for ch := range s.subs {
+		select {
+		case ch <- sample:
+		default: // slow subscriber: drop, the next sample supersedes this one
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// Close stops accepting connections and shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML) //nolint:errcheck
+}
+
+func (s *Server) serveJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Access-Control-Allow-Origin", "*")
+	if body == nil {
+		body = []byte("{}")
+	}
+	w.Write(body) //nolint:errcheck
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.metrics
+	s.mu.Unlock()
+	s.serveJSON(w, body)
+}
+
+func (s *Server) handleAttribution(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.attr
+	s.mu.Unlock()
+	s.serveJSON(w, body)
+}
+
+// handleEvents streams SSE: one "sample" event per publish. The current
+// sample is replayed on connect so a fresh dashboard paints immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Access-Control-Allow-Origin", "*")
+
+	ch := make(chan []byte, 8)
+	s.subMu.Lock()
+	s.subs[ch] = struct{}{}
+	s.subMu.Unlock()
+	defer func() {
+		s.subMu.Lock()
+		delete(s.subs, ch)
+		s.subMu.Unlock()
+	}()
+
+	s.mu.Lock()
+	cur := s.sample
+	s.mu.Unlock()
+	if cur != nil {
+		writeSSE(w, cur)
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p := <-ch:
+			writeSSE(w, p)
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, data []byte) {
+	fmt.Fprintf(w, "event: sample\ndata: %s\n\n", data) //nolint:errcheck
+}

@@ -1,0 +1,178 @@
+package httpserve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
+)
+
+// testProbe builds a probe with deterministic contents: two counters, one
+// gauge, one histogram, and an attribution sink with one read and one write.
+func testProbe() *telemetry.Probe {
+	p := telemetry.NewProbe(telemetry.Options{SampleEvery: sim.Millisecond})
+	p.Metrics.Counter("ftl/host_writes").Add(7)
+	p.Metrics.Counter("flash/program_pages").Add(12)
+	p.Metrics.Gauge("flash/chan/0/util", func(at sim.Time) float64 { return 0.25 })
+	p.Metrics.Histogram("ftl/write_lat").Observe(80 * sim.Microsecond)
+	p.Metrics.Tick(2 * sim.Millisecond)
+
+	a := p.Attr
+	a.Begin(telemetry.OpWrite, 0)
+	a.Charge(telemetry.PhaseGCStall, 3*sim.Millisecond)
+	a.Charge(telemetry.PhaseNANDProgram, sim.Millisecond)
+	a.End(4 * sim.Millisecond)
+	a.Begin(telemetry.OpRead, 0)
+	a.Charge(telemetry.PhaseNANDRead, 60*sim.Microsecond)
+	a.End(60 * sim.Microsecond)
+	return p
+}
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(testProbe(), Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestEndpoints(t *testing.T) {
+	s := startServer(t)
+	s.Publish(4 * sim.Millisecond)
+
+	var md telemetry.MetricsDump
+	if err := json.Unmarshal(get(t, s.URL()+"/metrics.json"), &md); err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	if md.Counters["ftl/host_writes"] != 7 {
+		t.Fatalf("metrics.json counters = %v", md.Counters)
+	}
+	if md.Gauges["flash/chan/0/util"] != 0.25 {
+		t.Fatalf("metrics.json gauges = %v", md.Gauges)
+	}
+	if len(md.Series) == 0 || len(md.Series[0].Samples) == 0 {
+		t.Fatalf("metrics.json carries no sampled series: %+v", md.Series)
+	}
+
+	var ad telemetry.AttrDump
+	if err := json.Unmarshal(get(t, s.URL()+"/attribution.json"), &ad); err != nil {
+		t.Fatalf("attribution.json: %v", err)
+	}
+	if ad.Ops["write"].Count != 1 || ad.Ops["read"].Count != 1 {
+		t.Fatalf("attribution.json ops = %+v", ad.Ops)
+	}
+	if len(ad.Ops["write"].Phases) != 2 {
+		t.Fatalf("write phases = %+v", ad.Ops["write"].Phases)
+	}
+
+	if !strings.Contains(string(get(t, s.URL()+"/")), "blockhead — live telemetry") {
+		t.Fatal("dashboard HTML not served at /")
+	}
+}
+
+func TestSSEStream(t *testing.T) {
+	s := startServer(t)
+	req, err := http.NewRequest("GET", s.URL()+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	// The publish raced with our subscribe; either the replayed snapshot or
+	// the fresh event must arrive.
+	go s.Publish(10 * sim.Millisecond)
+
+	type sample struct {
+		Seq    uint64             `json:"seq"`
+		AtMs   float64            `json:"at_ms"`
+		Gauges map[string]float64 `json:"gauges"`
+		Ops    map[string]struct {
+			Count uint64 `json:"count"`
+		} `json:"ops"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var sawEvent bool
+	deadline := time.After(4 * time.Second)
+	got := make(chan sample, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "event: sample" {
+				sawEvent = true
+				continue
+			}
+			if data, ok := strings.CutPrefix(line, "data: "); ok && sawEvent {
+				var ev sample
+				if json.Unmarshal([]byte(data), &ev) == nil {
+					got <- ev
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case ev := <-got:
+		if ev.Seq == 0 {
+			t.Fatalf("sample seq = 0: %+v", ev)
+		}
+		if ev.Ops["write"].Count != 1 {
+			t.Fatalf("sample ops = %+v", ev.Ops)
+		}
+	case <-deadline:
+		t.Fatal("no SSE sample within deadline")
+	}
+}
+
+func TestMaybePublishThrottles(t *testing.T) {
+	s, err := New(testProbe(), Options{
+		Addr: "127.0.0.1:0", PublishEvery: time.Hour, CheckEveryTicks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.mu.Lock()
+	seq0 := s.seq
+	s.mu.Unlock()
+	for i := 0; i < 10_000; i++ {
+		s.MaybePublish(sim.Time(i))
+	}
+	s.mu.Lock()
+	seq1 := s.seq
+	s.mu.Unlock()
+	if seq1 != seq0 {
+		t.Fatalf("publisher fired %d times inside the wall-clock interval", seq1-seq0)
+	}
+}

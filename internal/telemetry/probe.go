@@ -2,12 +2,26 @@ package telemetry
 
 import "blockhead/internal/sim"
 
-// Probe bundles a metrics registry and a tracer into the single handle
-// device models accept. A nil *Probe means "telemetry off": devices resolve
-// nil metric handles through it and take the zero-cost path on every op.
+// Probe bundles a metrics registry, a tracer, and a latency-attribution
+// sink into the single handle device models accept. A nil *Probe means
+// "telemetry off": devices resolve nil metric handles through it and take
+// the zero-cost path on every op.
 type Probe struct {
 	Metrics *Registry
 	Trace   *Tracer
+	Attr    *AttrSink
+
+	// Pub, if set, is poked from Tick so a live exporter (the HTTP
+	// monitoring server) can publish fresh snapshots while the simulation
+	// runs. Implementations throttle internally.
+	Pub Publisher
+}
+
+// Publisher is a live snapshot consumer driven from the simulation thread.
+// MaybePublish is called on every probe tick; implementations must be cheap
+// when no publish is due.
+type Publisher interface {
+	MaybePublish(at sim.Time)
 }
 
 // Options parameterizes NewProbe.
@@ -23,7 +37,7 @@ type Options struct {
 func NewProbe(opts Options) *Probe {
 	reg := NewRegistry()
 	reg.SampleEvery(opts.SampleEvery)
-	return &Probe{Metrics: reg, Trace: NewTracer(opts.TraceEvents)}
+	return &Probe{Metrics: reg, Trace: NewTracer(opts.TraceEvents), Attr: NewAttrSink()}
 }
 
 // Registry returns the metrics registry, or nil on a nil probe — the
@@ -43,11 +57,24 @@ func (p *Probe) Tracer() *Tracer {
 	return p.Trace
 }
 
-// Tick advances the sampler; nil-safe, so it can be handed to
-// sim.Loop.OnEvent or called from device op paths unconditionally.
+// Attribution returns the latency-attribution sink, or nil on a nil probe —
+// the nil-safe accessor device SetProbe implementations use.
+func (p *Probe) Attribution() *AttrSink {
+	if p == nil {
+		return nil
+	}
+	return p.Attr
+}
+
+// Tick advances the sampler and pokes the live publisher; nil-safe, so it
+// can be handed to sim.Loop.OnEvent or called from device op paths
+// unconditionally.
 func (p *Probe) Tick(at sim.Time) {
 	if p == nil {
 		return
 	}
 	p.Metrics.Tick(at)
+	if p.Pub != nil {
+		p.Pub.MaybePublish(at)
+	}
 }

@@ -127,9 +127,16 @@ type Device struct {
 	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
 	reg     *telemetry.Registry
 	tr      *telemetry.Tracer
+	attr    *telemetry.AttrSink
 	mTrans  [numZoneStates]*telemetry.Counter
 	mResets *telemetry.Counter
 	mAppend *telemetry.Counter
+
+	// blockDone records, per flash block, when its last program completed —
+	// the reference point for classifying LUN wait as write-pointer
+	// serialization (waiting behind this zone's own previous program) versus
+	// cross-traffic die contention. Allocated lazily by SetProbe.
+	blockDone []sim.Time
 }
 
 // numZoneStates sizes the per-target-state transition counter array.
@@ -193,6 +200,10 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 	reg := p.Registry()
 	d.reg = reg
 	d.tr = p.Tracer()
+	d.attr = p.Attribution()
+	if d.attr != nil && d.blockDone == nil {
+		d.blockDone = make([]sim.Time, d.cfg.Geom.TotalBlocks())
+	}
 	for s := range d.mTrans {
 		d.mTrans[s] = reg.Counter("zns/zone/state_transitions{to=" + ZoneState(s).String() + "}")
 	}
@@ -404,6 +415,9 @@ func (d *Device) Reset(at sim.Time, z int) (sim.Time, error) {
 	}
 	d.release(zn)
 
+	// The stripe's erases run in parallel across LUNs: suspend per-erase
+	// attribution and charge the reset's wall-clock time as one phase.
+	d.attr.Suspend()
 	done := at
 	survivors := zn.blocks[:0]
 	for _, b := range zn.blocks {
@@ -421,6 +435,8 @@ func (d *Device) Reset(at sim.Time, z int) (sim.Time, error) {
 			done = eDone
 		}
 	}
+	d.attr.Resume()
+	d.attr.Charge(telemetry.PhaseZoneReset, done-at)
 	zn.blocks = survivors
 	if d.data != nil {
 		base := d.LBA(z, 0)
@@ -453,9 +469,23 @@ func (d *Device) write(at sim.Time, z int, data []byte) (lba int64, done sim.Tim
 	d.reg.Tick(at)
 	offset := zn.wp
 	block, page := d.addr(z, offset)
+	lunWait0 := d.attr.Value(telemetry.PhaseLUNWait)
 	done, err = d.chip.ProgramPage(at, block, page)
 	if err != nil {
 		return 0, at, err
+	}
+	if d.blockDone != nil {
+		// The part of the LUN wait spent behind this block's own previous
+		// program is write-pointer serialization (the per-zone sequential
+		// write pipeline), not cross-traffic contention: relabel it, capped
+		// at what the chip actually charged.
+		if serial := d.blockDone[block] - at; serial > 0 {
+			if w := d.attr.Value(telemetry.PhaseLUNWait) - lunWait0; serial > w {
+				serial = w
+			}
+			d.attr.Reclassify(telemetry.PhaseLUNWait, telemetry.PhaseWPSerial, serial)
+		}
+		d.blockDone[block] = done
 	}
 	d.tr.Span(telemetry.ProcZone, int32(z), "zns", "write", at, done)
 	zn.wp++
@@ -550,23 +580,30 @@ func (d *Device) SimpleCopy(at sim.Time, srcLBAs []int64, dstZone int) (firstLBA
 		return 0, at, ErrZoneFull
 	}
 	d.reg.Tick(at)
+	// Copies are issued concurrently (they serialize only through the flash
+	// resources): suspend per-page attribution and charge wall-clock once.
+	d.attr.Suspend()
 	done = at
 	firstLBA = -1
 	for _, src := range srcLBAs {
 		if src < 0 || src >= int64(len(d.zones))*d.zonePages {
+			d.attr.Resume()
 			return 0, at, ErrOutOfRange
 		}
 		sz, so := d.ZoneOf(src)
 		if so >= d.zones[sz].wp {
+			d.attr.Resume()
 			return 0, at, ErrUnwritten
 		}
 		if err := d.activate(at, dstZone); err != nil {
+			d.attr.Resume()
 			return 0, at, err
 		}
 		sb, sp := d.addr(sz, so)
 		db, dp := d.addr(dstZone, zn.wp)
 		cDone, cErr := d.chip.CopyPage(at, sb, sp, db, dp)
 		if cErr != nil {
+			d.attr.Resume()
 			return 0, at, cErr
 		}
 		dst := d.LBA(dstZone, zn.wp)
@@ -590,6 +627,8 @@ func (d *Device) SimpleCopy(at sim.Time, srcLBAs []int64, dstZone int) (firstLBA
 			done = cDone
 		}
 	}
+	d.attr.Resume()
+	d.attr.Charge(telemetry.PhaseDevCopy, done-at)
 	d.tr.SpanArg(telemetry.ProcZone, int32(dstZone), "zns", "simple_copy", at, done,
 		"pages", int64(len(srcLBAs)))
 	return firstLBA, done, nil
