@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test bench-telemetry bench fuzz update-golden clean
+.PHONY: all check vet build test bench-telemetry bench bench-compare fuzz fuzz-zns update-golden clean
 
 all: check
 
@@ -20,10 +20,11 @@ test:
 	$(GO) test -race ./...
 
 # The telemetry layer's contract: with no probe attached, every instrument
-# (including the latency-attribution sink) is a nil no-op — 0 allocs/op.
-# A regression here slows every simulation.
+# (including the latency-attribution sink, the zone state-machine auditor,
+# and the flight recorder) is a nil no-op — 0 allocs/op. A regression here
+# slows every simulation.
 bench-telemetry:
-	$(GO) test -run='^$$' -bench=ProbeDisabled -benchmem ./internal/telemetry/
+	$(GO) test -run='^$$' -bench=ProbeDisabled -benchmem ./internal/telemetry/ ./internal/zns/
 
 # Regenerate the pinned JSON schemas served by /metrics.json and
 # /attribution.json after a deliberate schema change.
@@ -34,9 +35,21 @@ update-golden:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
+# Rerun the committed benchmark suite (full E4+E6) and gate against the
+# committed baseline. The 25% threshold leaves room for modeling changes
+# while catching order-of-magnitude regressions; tighten per-investigation
+# with `go run ./cmd/benchdiff -threshold ...`.
+bench-compare:
+	$(GO) run ./cmd/znsbench -run E4,E6 -bench-json /tmp/blockhead-bench-new.json > /dev/null
+	$(GO) run ./cmd/benchdiff -threshold 0.25 BENCH_attribution.json /tmp/blockhead-bench-new.json
+
 # Short fuzz pass over the trace decoder.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=30s ./internal/trace/
+
+# Short fuzz pass over the ZNS zone state machine (auditor attached).
+fuzz-zns:
+	$(GO) test -run='^$$' -fuzz=FuzzZoneStateMachine -fuzztime=30s ./internal/zns/
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,151 @@
+// Command benchdiff compares two blockhead/bench/v1 JSON files (the
+// machine-readable output of `znsbench -bench-json`, committed as
+// BENCH_*.json) and reports per-metric deltas. It exits non-zero when any
+// metric regresses beyond the threshold, so `make bench-compare` can gate a
+// change on the committed baseline.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] [-force] baseline.json new.json
+//
+// Throughput (write_pages_per_sec) counts as regressed when it drops;
+// latencies and write amplification count as regressed when they rise.
+// Metrics absent from the baseline (zero) are skipped. Comparing a quick
+// run against a full run is refused unless -force is given: their numbers
+// measure different regimes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"blockhead/internal/core"
+)
+
+const schema = "blockhead/bench/v1"
+
+type benchFile struct {
+	Schema  string            `json:"schema"`
+	Seed    int64             `json:"seed"`
+	Quick   bool              `json:"quick"`
+	Entries []core.BenchEntry `json:"entries"`
+}
+
+// metric is one compared column of a BenchEntry.
+type metric struct {
+	name         string
+	higherBetter bool
+	get          func(e core.BenchEntry) float64
+}
+
+var metrics = []metric{
+	{"write_pages_per_sec", true, func(e core.BenchEntry) float64 { return e.WritePPS }},
+	{"write_amp", false, func(e core.BenchEntry) float64 { return e.WriteAmp }},
+	{"read_mean_us", false, func(e core.BenchEntry) float64 { return e.ReadMeanUs }},
+	{"read_p50_us", false, func(e core.BenchEntry) float64 { return e.ReadP50Us }},
+	{"read_p90_us", false, func(e core.BenchEntry) float64 { return e.ReadP90Us }},
+	{"read_p99_us", false, func(e core.BenchEntry) float64 { return e.ReadP99Us }},
+	{"read_p999_us", false, func(e core.BenchEntry) float64 { return e.ReadP999Us }},
+	{"write_p99_us", false, func(e core.BenchEntry) float64 { return e.WriteP99Us }},
+}
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.10, "relative regression beyond which benchdiff fails (0.10 = 10%)")
+		force     = flag.Bool("force", false, "compare even when one file is a quick run and the other is not")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-force] baseline.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	new_, err := load(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	if old.Quick != new_.Quick && !*force {
+		fail(fmt.Errorf("quick mismatch: %s quick=%v, %s quick=%v (pass -force to compare anyway)",
+			flag.Arg(0), old.Quick, flag.Arg(1), new_.Quick))
+	}
+	if old.Seed != new_.Seed {
+		fmt.Fprintf(os.Stderr, "benchdiff: note: seeds differ (%d vs %d); deltas include workload noise\n",
+			old.Seed, new_.Seed)
+	}
+
+	key := func(e core.BenchEntry) string { return e.Experiment + "/" + e.Name }
+	baseline := make(map[string]core.BenchEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		baseline[key(e)] = e
+	}
+
+	regressions := 0
+	matched := 0
+	for _, ne := range new_.Entries {
+		oe, ok := baseline[key(ne)]
+		if !ok {
+			fmt.Printf("%s: new entry (no baseline)\n", key(ne))
+			continue
+		}
+		matched++
+		delete(baseline, key(ne))
+		fmt.Printf("%s\n", key(ne))
+		for _, m := range metrics {
+			ov, nv := m.get(oe), m.get(ne)
+			if ov == 0 && nv == 0 {
+				continue
+			}
+			if ov == 0 {
+				fmt.Printf("  %-20s %12s -> %12.2f   (no baseline)\n", m.name, "-", nv)
+				continue
+			}
+			delta := (nv - ov) / ov
+			verdict := ""
+			bad := delta > *threshold
+			if m.higherBetter {
+				bad = delta < -*threshold
+			}
+			if bad {
+				verdict = fmt.Sprintf("  REGRESSION (>%.0f%%)", *threshold*100)
+				regressions++
+			}
+			fmt.Printf("  %-20s %12.2f -> %12.2f   %+6.1f%%%s\n", m.name, ov, nv, delta*100, verdict)
+		}
+	}
+	for k := range baseline {
+		fmt.Printf("%s: missing from %s\n", k, flag.Arg(1))
+	}
+	if matched == 0 {
+		fail(fmt.Errorf("no entries in common between %s and %s", flag.Arg(0), flag.Arg(1)))
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d entries compared, no regression beyond %.0f%%\n", matched, *threshold*100)
+}
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != schema {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schema)
+	}
+	return f, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

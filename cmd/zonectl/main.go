@@ -10,15 +10,24 @@
 //	zonectl -ops "append:0,append:0,finish:1,reset:0,open:2"
 //	zonectl -ops "append:0,finish:0" -trace-out t.json -metrics-out m.json
 //	zonectl -ops "append:0,reset:0" -serve :8078
+//	zonectl inspect -ops "append:0,reset:0"   # zone map, wear, audit, flight
+//	zonectl inspect -json -ops "append:0"     # same as machine-readable JSON
 //
 // Each op is name:zone; supported ops: open, close, finish, reset, append.
 // -trace-out / -metrics-out record the op sequence through the telemetry
 // layer; -serve keeps an HTTP server up after the sequence with the
 // metrics, per-phase latency attribution of the appends and resets, and
 // the live dashboard (see docs/observability.md).
+//
+// The inspect subcommand runs the same op sequence with the zone
+// state-machine auditor attached and prints the device's introspection
+// state: the zone census and per-zone report, the flash wear summary, the
+// audit verdict, and the flight recorder's event history. With -json it
+// emits the /heatmap.json and /flight.json shapes instead.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +43,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "inspect" {
+		if err := runInspect(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "zonectl inspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		zones      = flag.Int("zones", 16, "number of zones")
 		zonePages  = flag.Int("zone-pages", 256, "pages per zone")
@@ -101,6 +117,71 @@ func main() {
 		<-sig
 		server.Close()
 	}
+}
+
+// runInspect is the `zonectl inspect` subcommand: it applies the op
+// sequence with a full probe and the state-machine auditor attached, then
+// prints the device's introspection state (or, with -json, the heatmap and
+// flight dumps the HTTP endpoints would serve).
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("zonectl inspect", flag.ExitOnError)
+	var (
+		zones     = fs.Int("zones", 16, "number of zones")
+		zonePages = fs.Int("zone-pages", 256, "pages per zone")
+		maxActive = fs.Int("max-active", 14, "active-zone limit (0 = unlimited)")
+		ops       = fs.String("ops", "", "comma-separated ops, e.g. append:0,finish:1,reset:0")
+		cell      = fs.String("cell", "TLC", "cell type: SLC, MLC, TLC, QLC, PLC")
+		jsonOut   = fs.Bool("json", false, "emit the heatmap and flight dumps as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dev, err := buildDevice(*zones, *zonePages, *maxActive, *cell)
+	if err != nil {
+		return err
+	}
+	probe := telemetry.NewProbe(telemetry.Options{})
+	dev.SetProbe(probe)
+	aud := dev.AttachAuditor()
+
+	var at sim.Time
+	if *ops != "" {
+		for _, op := range strings.Split(*ops, ",") {
+			if at, err = apply(dev, probe.Attribution(), at, strings.TrimSpace(op)); err != nil {
+				return fmt.Errorf("%s: %w", op, err)
+			}
+		}
+	}
+
+	if *jsonOut {
+		out := struct {
+			Heatmap telemetry.HeatmapDump `json:"heatmap"`
+			Flight  telemetry.FlightDump  `json:"flight"`
+		}{probe.HeatDump(at), probe.Flight().Dump()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	fmt.Printf("device: %d zones x %d pages, max-active %d, virtual time %.3f ms\n",
+		dev.NumZones(), dev.ZonePages(), dev.MaxActive(), at.Millis())
+	fmt.Printf("zone map: %s\n", dev.StateCensus())
+	fmt.Printf("%-6s %-10s %10s %10s\n", "zone", "state", "wp", "cap")
+	for _, zi := range dev.ZoneReport() {
+		fmt.Printf("%-6d %-10s %10d %10d\n", zi.Zone, zi.State, zi.WP, zi.Cap)
+	}
+	w := dev.Flash().Wear()
+	fmt.Printf("\nwear: blocks=%d bad=%d erases=%d max=%d min=%d mean=%.2f spread=%d skew=%.2f\n",
+		w.Blocks, w.BadBlocks, w.TotalErases, w.MaxErase, w.MinErase, w.MeanErase, w.Spread, w.Skew)
+	if err := aud.Check(); err != nil {
+		fmt.Printf("audit: FAILED: %v\n", err)
+	} else if v := aud.Violations(); v > 0 {
+		fmt.Printf("audit: %d violations\n", v)
+	} else {
+		fmt.Printf("audit: clean\n")
+	}
+	fmt.Println()
+	return probe.Flight().WriteText(os.Stdout)
 }
 
 // export writes the telemetry collected over the op sequence.

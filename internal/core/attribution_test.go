@@ -52,11 +52,16 @@ func TestAttributionInvariantE4(t *testing.T) {
 	if sink.Op(telemetry.OpWrite).PhaseSum[telemetry.PhaseGCStall] == 0 {
 		t.Error("conventional writes show no gc_stall time")
 	}
-	if _, err := E4ZNS(cfg); err != nil {
+	zres, err := E4ZNS(cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if *checked == convChecked {
 		t.Fatal("zns run completed no attributed IOs")
+	}
+	if !zres.Device.Audited || zres.Device.AuditViolations != 0 {
+		t.Fatalf("zns device audit: audited=%v violations=%d",
+			zres.Device.Audited, zres.Device.AuditViolations)
 	}
 	if sink.Op(telemetry.OpWrite).PhaseSum[telemetry.PhaseZoneReset] == 0 {
 		t.Error("zns writes show no zone_reset time")
@@ -75,8 +80,13 @@ func TestAttributionInvariantE6(t *testing.T) {
 	if _, err := E6Conventional(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := E6HostFTL(cfg); err != nil {
+	hres, err := E6HostFTL(cfg)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !hres.Device.Audited || hres.Device.AuditViolations != 0 {
+		t.Fatalf("host-FTL device audit: audited=%v violations=%d",
+			hres.Device.Audited, hres.Device.AuditViolations)
 	}
 	if *checked == 0 {
 		t.Fatal("no attributed IOs")

@@ -38,6 +38,8 @@ type E4Result struct {
 	// Attr is the per-phase latency attribution accumulated over the
 	// measured window of this configuration's drive.
 	Attr telemetry.AttrSnapshot
+	// Device is the end-of-run device snapshot (wear, zone census, audit).
+	Device DeviceState
 }
 
 // E4Conventional drives a steady-state conventional SSD: the device is
@@ -97,6 +99,7 @@ func E4Conventional(cfg Config) (E4Result, error) {
 		ReadP999:     res.ReadLat.P999,
 		WriteP99:     res.WriteLat.P99,
 		Attr:         probe.Attr.Snapshot().Delta(before),
+		Device:       DeviceState{Name: "conventional (OP 7%)", Wear: dev.Flash().Wear()},
 	}, nil
 }
 
@@ -111,6 +114,7 @@ func E4ZNS(cfg Config) (E4Result, error) {
 	}
 	probe := attrProbe(cfg)
 	dev.SetProbe(probe)
+	aud := dev.AttachAuditor()
 	nz := dev.NumZones()
 	// Pre-fill every zone so reads have targets and reuse requires resets.
 	var at sim.Time
@@ -172,6 +176,9 @@ func E4ZNS(cfg Config) (E4Result, error) {
 	if res.Err != nil {
 		return E4Result{}, res.Err
 	}
+	if err := aud.Check(); err != nil {
+		return E4Result{}, err
+	}
 	return E4Result{
 		Name:         "zns (host-scheduled resets)",
 		WritePagesPS: res.WriteScale,
@@ -182,6 +189,7 @@ func E4ZNS(cfg Config) (E4Result, error) {
 		ReadP999:     res.ReadLat.P999,
 		WriteP99:     res.WriteLat.P99,
 		Attr:         probe.Attr.Snapshot().Delta(before),
+		Device:       deviceState("zns (host-scheduled resets)", dev, aud),
 	}, nil
 }
 
@@ -217,15 +225,16 @@ func runE4(cfg Config) (Report, error) {
 			fmt.Sprintf("%.0f", e.ReadP999.Micros()),
 			fmt.Sprintf("%.0f", e.WriteP99.Micros()))
 		r.AddBreakdown(e.Name, e.Attr)
+		r.AddDeviceState(e.Device)
 		r.Bench = append(r.Bench, BenchEntry{
 			Experiment: "E4", Name: e.Name,
-			WritePPS:   e.WritePagesPS,
-			ReadMeanUs: e.ReadMean.Micros(),
-			ReadP50Us:  e.ReadP50.Micros(),
-			ReadP90Us:  e.ReadP90.Micros(),
-			ReadP99Us:  e.ReadP99.Micros(),
-			ReadP999Us: e.ReadP999.Micros(),
-			WriteP99Us: e.WriteP99.Micros(),
+			WritePPS:    e.WritePagesPS,
+			ReadMeanUs:  e.ReadMean.Micros(),
+			ReadP50Us:   e.ReadP50.Micros(),
+			ReadP90Us:   e.ReadP90.Micros(),
+			ReadP99Us:   e.ReadP99.Micros(),
+			ReadP999Us:  e.ReadP999.Micros(),
+			WriteP99Us:  e.WriteP99.Micros(),
 			Attribution: e.Attr.Dump(),
 		})
 	}

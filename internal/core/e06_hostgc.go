@@ -42,6 +42,8 @@ type E6Result struct {
 	// Attr is the per-phase latency attribution over the tail-latency phase
 	// (phase B) of the drive.
 	Attr telemetry.AttrSnapshot
+	// Device is the end-of-run device snapshot (wear, zone census, audit).
+	Device DeviceState
 }
 
 // e6Stack abstracts the two configurations for the shared two-phase drive.
@@ -54,6 +56,8 @@ type e6Stack struct {
 	at       sim.Time // virtual time after pre-fill and aging
 	src      *workload.Source
 	probe    *telemetry.Probe // per-stack attribution probe
+	// device snapshots the end-of-run device state (wear/census/audit).
+	device func() (DeviceState, error)
 }
 
 // The fixed offered load for the tail phase: ~55% of the conventional
@@ -109,8 +113,16 @@ func e6Measure(s e6Stack, cfg Config) (E6Result, error) {
 	attr := s.probe.Attribution().Snapshot().Delta(beforeB)
 	h1, p1 := s.counters()
 	wa := float64(p1-p0) / float64(h1-h0)
+	var ds DeviceState
+	if s.device != nil {
+		var err error
+		if ds, err = s.device(); err != nil {
+			return E6Result{}, err
+		}
+	}
 	return E6Result{
-		Attr: attr,
+		Attr:         attr,
+		Device:       ds,
 		Name:         s.name,
 		WritePagesPS: resA.WriteScale,
 		WA:           wa,
@@ -161,6 +173,10 @@ func E6Conventional(cfg Config) (E6Result, error) {
 		at:    at,
 		src:   src,
 		probe: probe,
+		device: func() (DeviceState, error) {
+			return DeviceState{Name: "conventional (opaque device GC)",
+				Wear: dev.Flash().Wear()}, nil
+		},
 	}, cfg)
 }
 
@@ -192,6 +208,7 @@ func E6HostFTL(cfg Config) (E6Result, error) {
 	}
 	probe := attrProbe(cfg)
 	f.SetProbe(probe)
+	aud := dev.AttachAuditor()
 	var at sim.Time
 	src := workload.NewSource(cfg.Seed)
 	hc := workload.NewHotCold(src, f.CapacityPages(), 0.1, 0.9)
@@ -233,6 +250,12 @@ func E6HostFTL(cfg Config) (E6Result, error) {
 		at:    at,
 		src:   src,
 		probe: probe,
+		device: func() (DeviceState, error) {
+			if err := aud.Check(); err != nil {
+				return DeviceState{}, err
+			}
+			return deviceState("host FTL on ZNS (paced GC + streams)", dev, aud), nil
+		},
 	}, cfg)
 }
 
@@ -258,6 +281,7 @@ func runE6(cfg Config) (Report, error) {
 			fmt.Sprintf("%.0f", e.ReadP99.Micros()),
 			fmt.Sprintf("%.0f", e.ReadP999.Micros()))
 		r.AddBreakdown(e.Name, e.Attr)
+		r.AddDeviceState(e.Device)
 		r.Bench = append(r.Bench, BenchEntry{
 			Experiment: "E6", Name: e.Name,
 			WritePPS:    e.WritePagesPS,

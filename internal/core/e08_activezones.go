@@ -53,6 +53,8 @@ type E8Result struct {
 	BurstP50   sim.Time
 	BurstP99   sim.Time
 	PagesPerSS float64
+	// Device is the end-of-run device snapshot (wear, zone census, audit).
+	Device DeviceState
 }
 
 // E8Run simulates bursty tenants sharing one device under a zone-grant
@@ -68,6 +70,10 @@ func E8Run(policy ZonePolicy, cfg Config) (E8Result, error) {
 	if err != nil {
 		return E8Result{}, err
 	}
+	// The auditor runs under both policies: E8 exercises the state machine
+	// hardest (hundreds of zones cycling open->full->reset under an active
+	// limit), so every transition is validated regardless of telemetry.
+	aud := dev.AttachAuditor()
 	loop := sim.NewLoop()
 	if cfg.Probe != nil {
 		// Attach telemetry to the dynamic-policy run only (the interesting
@@ -207,6 +213,9 @@ func E8Run(policy ZonePolicy, cfg Config) (E8Result, error) {
 	if opErr != nil {
 		return E8Result{}, opErr
 	}
+	if err := aud.Check(); err != nil {
+		return E8Result{}, err
+	}
 	s := lat.Summary()
 	return E8Result{
 		Policy:     policy,
@@ -214,6 +223,7 @@ func E8Run(policy ZonePolicy, cfg Config) (E8Result, error) {
 		BurstP50:   s.P50,
 		BurstP99:   s.P99,
 		PagesPerSS: stats.Rate(pages, duration),
+		Device:     deviceState(policy.String(), dev, aud),
 	}, nil
 }
 
@@ -235,6 +245,7 @@ func runE8(cfg Config) (Report, error) {
 			fmt.Sprintf("%.1f", res.BurstP50.Millis()),
 			fmt.Sprintf("%.1f", res.BurstP99.Millis()),
 			fmt.Sprintf("%.0f", res.PagesPerSS))
+		r.AddDeviceState(res.Device)
 	}
 	r.AddNote("%d tenants, %d max active zones, bursts want %d-way parallelism",
 		e8Tenants, e8MaxActive, e8WantZones)

@@ -12,7 +12,10 @@ import (
 	"sort"
 	"strings"
 
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/zns"
 )
 
 // Config parameterizes an experiment run.
@@ -32,18 +35,31 @@ type Config struct {
 // DefaultConfig is the standard full-size run.
 func DefaultConfig() Config { return Config{Seed: 42} }
 
-// attrProbe returns a probe carrying the session's shared attribution sink
-// (and live publisher) when cfg.Probe is set, or a private sink otherwise.
-// Experiments that drive several device stacks attach one of these to each
-// stack instead of the full cfg.Probe: sharing the metric registry would
-// let the stacks overwrite each other's gauges (flash/chan/N/util etc.),
-// while the attribution sink is designed to be shared and Delta'd.
+// attrProbe returns a probe carrying the session's shared attribution sink,
+// heatmap-source registry, flight recorder, and live publisher when
+// cfg.Probe is set, or private instances otherwise. Experiments that drive
+// several device stacks attach one of these to each stack instead of the
+// full cfg.Probe: sharing the metric registry would let the stacks
+// overwrite each other's gauges (flash/chan/N/util etc.), while the
+// attribution sink, heat set (replace-by-name), and flight recorder are
+// designed to be shared. The flight recorder is always present — even
+// without cfg.Probe — so auditor and attribution violations inside
+// experiments dump recent history.
 func attrProbe(cfg Config) *telemetry.Probe {
 	sink := cfg.Probe.Attribution()
 	if sink == nil {
 		sink = telemetry.NewAttrSink()
 	}
-	p := &telemetry.Probe{Attr: sink}
+	p := &telemetry.Probe{Attr: sink, HeatSrc: cfg.Probe.Heat(), FlightRec: cfg.Probe.Flight()}
+	if p.FlightRec == nil {
+		p.FlightRec = telemetry.NewFlight(0)
+	}
+	if sink.OnViolation == nil {
+		fl := p.FlightRec
+		sink.OnViolation = func(at sim.Time) {
+			fl.Violation(at, telemetry.FlightAttrViolation, -1, "attribution_invariant", 0)
+		}
+	}
 	if cfg.Probe != nil {
 		p.Pub = cfg.Probe.Pub
 	}
@@ -61,6 +77,9 @@ type Report struct {
 	// Breakdowns are per-configuration latency-attribution sections,
 	// rendered between the table and the notes.
 	Breakdowns []Breakdown
+	// Devices are per-configuration device-state sections (wear summary,
+	// zone-state census, audit result), rendered after the breakdowns.
+	Devices []DeviceState
 	// Bench are the machine-readable results (znsbench -bench-json).
 	Bench []BenchEntry
 }
@@ -69,6 +88,34 @@ type Report struct {
 type Breakdown struct {
 	Name string
 	Attr telemetry.AttrDump
+}
+
+// DeviceState is one configuration's end-of-run device snapshot: flash wear
+// plus, for zoned stacks, the zone-state census and the state-machine audit
+// verdict.
+type DeviceState struct {
+	Name            string
+	Wear            flash.WearSummary
+	ZoneMap         string // zone census ("" for non-zoned stacks)
+	Audited         bool
+	AuditViolations uint64
+}
+
+// AddDeviceState appends a device-state section.
+func (r *Report) AddDeviceState(ds DeviceState) {
+	r.Devices = append(r.Devices, ds)
+}
+
+// deviceState snapshots a zoned stack: wear from the chip, census and audit
+// verdict from the device/auditor.
+func deviceState(name string, dev *zns.Device, aud *zns.Auditor) DeviceState {
+	return DeviceState{
+		Name:            name,
+		Wear:            dev.Flash().Wear(),
+		ZoneMap:         dev.StateCensus().String(),
+		Audited:         aud != nil,
+		AuditViolations: aud.Violations(),
+	}
 }
 
 // BenchEntry is one machine-readable benchmark result, the schema committed
@@ -155,6 +202,21 @@ func (r Report) Format() string {
 		}
 		if bd.Attr.Violations > 0 {
 			fmt.Fprintf(&b, "  WARNING: %d attribution invariant violations\n", bd.Attr.Violations)
+		}
+	}
+	for _, ds := range r.Devices {
+		fmt.Fprintf(&b, "device state — %s: wear blocks=%d bad=%d erases=%d max=%d mean=%.2f spread=%d skew=%.2f\n",
+			ds.Name, ds.Wear.Blocks, ds.Wear.BadBlocks, ds.Wear.TotalErases,
+			ds.Wear.MaxErase, ds.Wear.MeanErase, ds.Wear.Spread, ds.Wear.Skew)
+		if ds.ZoneMap != "" {
+			fmt.Fprintf(&b, "  zone map: %s\n", ds.ZoneMap)
+		}
+		if ds.Audited {
+			if ds.AuditViolations > 0 {
+				fmt.Fprintf(&b, "  WARNING: %d zone state-machine audit violations\n", ds.AuditViolations)
+			} else {
+				fmt.Fprintf(&b, "  zone state-machine audit: clean\n")
+			}
 		}
 	}
 	for _, n := range r.Notes {

@@ -202,6 +202,7 @@ type Device struct {
 	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
 	tr                     *telemetry.Tracer
 	attr                   *telemetry.AttrSink
+	fl                     *telemetry.Flight
 	mReads, mProgs, mErase *telemetry.Counter
 }
 
@@ -229,9 +230,17 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 	reg := p.Registry()
 	d.tr = p.Tracer()
 	d.attr = p.Attribution()
+	d.fl = p.Flight()
 	d.mReads = reg.Counter("flash/read_pages")
 	d.mProgs = reg.Counter("flash/program_pages")
 	d.mErase = reg.Counter("flash/block_erases")
+	reg.Gauge("flash/wear/max_erase", func(sim.Time) float64 {
+		return float64(d.Wear().MaxErase)
+	})
+	reg.Gauge("flash/wear/skew", func(sim.Time) float64 {
+		return d.Wear().Skew
+	})
+	p.Heat().Register("flash", d.heatSection)
 	d.tr.NameProcess(telemetry.ProcFlashChan, "flash channels")
 	d.tr.NameProcess(telemetry.ProcFlashLUN, "flash LUNs (dies)")
 	for c := 0; c < d.Geom.Channels; c++ {
@@ -365,6 +374,7 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 	}
 	if d.Endurance != 0 && b.eraseCount >= d.Endurance {
 		b.bad = true
+		d.fl.Record(at, telemetry.FlightErase, int32(block), "worn_out", int64(b.eraseCount))
 		return at, ErrWornOut
 	}
 	lun := d.Geom.LUNOfBlock(block)
@@ -376,6 +386,7 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 	d.mErase.Inc()
 	d.attr.Charge(telemetry.PhaseLUNWait, eraseStart-at)
 	d.attr.Charge(telemetry.PhaseNANDErase, d.Lat.EraseBlock)
+	d.fl.Record(at, telemetry.FlightErase, int32(block), "", int64(b.eraseCount))
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "erase", eraseStart, done, "block", int64(block))
 	return done, nil
 }
@@ -401,37 +412,9 @@ func (d *Device) LUNFreeAt(block int) sim.Time {
 }
 
 // MaxEraseCount reports the highest per-block erase count — the wear-leveling
-// figure of merit.
-func (d *Device) MaxEraseCount() uint32 {
-	var m uint32
-	for i := range d.blocks {
-		if d.blocks[i].eraseCount > m {
-			m = d.blocks[i].eraseCount
-		}
-	}
-	return m
-}
+// figure of merit. Equivalent to Wear().MaxErase.
+func (d *Device) MaxEraseCount() uint32 { return d.Wear().MaxErase }
 
 // TotalEraseSpread reports max-min erase counts across non-bad blocks.
-func (d *Device) TotalEraseSpread() uint32 {
-	if len(d.blocks) == 0 {
-		return 0
-	}
-	lo, hi := ^uint32(0), uint32(0)
-	for i := range d.blocks {
-		if d.blocks[i].bad {
-			continue
-		}
-		c := d.blocks[i].eraseCount
-		if c < lo {
-			lo = c
-		}
-		if c > hi {
-			hi = c
-		}
-	}
-	if lo > hi {
-		return 0
-	}
-	return hi - lo
-}
+// Equivalent to Wear().Spread.
+func (d *Device) TotalEraseSpread() uint32 { return d.Wear().Spread }

@@ -1,0 +1,141 @@
+package flash
+
+import (
+	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
+)
+
+// WearSummary aggregates per-block erase wear. It is the single source of
+// truth for wear statistics: the endurance path (ErrWornOut), the wear
+// telemetry gauges, and the heatmap dump all derive from the same per-block
+// erase counts.
+type WearSummary struct {
+	Blocks      int     // total blocks
+	BadBlocks   int     // retired blocks
+	TotalErases uint64  // sum of per-block erase counts (incl. bad blocks)
+	MaxErase    uint32  // highest per-block erase count
+	MinErase    uint32  // lowest erase count across non-bad blocks
+	MeanErase   float64 // mean erase count across all blocks
+	Spread      uint32  // MaxErase - MinErase across non-bad blocks
+	Skew        float64 // MaxErase / MeanErase; 0 before any erase
+}
+
+// Wear computes the wear summary from the per-block erase counts.
+func (d *Device) Wear() WearSummary {
+	w := WearSummary{Blocks: len(d.blocks), MinErase: ^uint32(0)}
+	var hiGood uint32
+	anyGood := false
+	for i := range d.blocks {
+		b := &d.blocks[i]
+		c := b.eraseCount
+		w.TotalErases += uint64(c)
+		if c > w.MaxErase {
+			w.MaxErase = c
+		}
+		if b.bad {
+			w.BadBlocks++
+			continue
+		}
+		anyGood = true
+		if c < w.MinErase {
+			w.MinErase = c
+		}
+		if c > hiGood {
+			hiGood = c
+		}
+	}
+	if !anyGood {
+		w.MinErase = 0
+	} else {
+		w.Spread = hiGood - w.MinErase
+	}
+	if w.Blocks > 0 {
+		w.MeanErase = float64(w.TotalErases) / float64(w.Blocks)
+	}
+	if w.MeanErase > 0 {
+		w.Skew = float64(w.MaxErase) / w.MeanErase
+	}
+	return w
+}
+
+// EraseCounts appends every block's erase count to dst (allocating when dst
+// lacks capacity) and returns the result, indexed by block.
+func (d *Device) EraseCounts(dst []uint32) []uint32 {
+	if cap(dst) < len(d.blocks) {
+		dst = make([]uint32, 0, len(d.blocks))
+	}
+	dst = dst[:0]
+	for i := range d.blocks {
+		dst = append(dst, d.blocks[i].eraseCount)
+	}
+	return dst
+}
+
+// wearHistBuckets is the bucket budget of the wear histogram in heatmap
+// dumps.
+const wearHistBuckets = 16
+
+// wearHist buckets the per-block erase counts into at most wearHistBuckets
+// equal-width ranges; empty buckets are omitted.
+func wearHist(counts []uint32, max uint32) []telemetry.WearBucket {
+	width := max/wearHistBuckets + 1
+	var filled [wearHistBuckets]int
+	used := 0
+	for _, c := range counts {
+		i := int(c / width)
+		if i >= wearHistBuckets {
+			i = wearHistBuckets - 1
+		}
+		if filled[i] == 0 {
+			used++
+		}
+		filled[i]++
+	}
+	hist := make([]telemetry.WearBucket, 0, used)
+	for i, n := range filled {
+		if n == 0 {
+			continue
+		}
+		hist = append(hist, telemetry.WearBucket{
+			Lo:     uint32(i) * width,
+			Hi:     uint32(i+1)*width - 1,
+			Blocks: n,
+		})
+	}
+	return hist
+}
+
+// heatSection is the flash device's heatmap source: wear statistics with a
+// downsampled per-block grid, plus per-channel and per-LUN busy occupancy.
+func (d *Device) heatSection(at sim.Time) telemetry.DeviceHeat {
+	w := d.Wear()
+	counts := d.EraseCounts(nil)
+	cells, stride := telemetry.HeatCellsU32(counts)
+	wh := &telemetry.WearHeat{
+		Blocks:     w.Blocks,
+		BadBlocks:  w.BadBlocks,
+		MaxErase:   w.MaxErase,
+		MeanErase:  w.MeanErase,
+		Spread:     w.Spread,
+		Skew:       w.Skew,
+		Hist:       wearHist(counts, w.MaxErase),
+		Cells:      cells,
+		CellBlocks: stride,
+	}
+	chans := make([]telemetry.UnitOcc, d.Geom.Channels)
+	for c := range chans {
+		chans[c] = telemetry.UnitOcc{ID: c, BusyFrac: busyFrac(d.chanBusy[c], at)}
+	}
+	luns := make([]telemetry.UnitOcc, d.Geom.LUNs())
+	for l := range luns {
+		luns[l] = telemetry.UnitOcc{ID: l, BusyFrac: busyFrac(d.lunBusy[l], at)}
+	}
+	return telemetry.DeviceHeat{Wear: wh, Channels: chans, LUNs: luns}
+}
+
+func busyFrac(busy, at sim.Time) float64 {
+	if at <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(at)
+}

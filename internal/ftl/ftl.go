@@ -183,6 +183,7 @@ type Device struct {
 	reg        *telemetry.Registry
 	tr         *telemetry.Tracer
 	attr       *telemetry.AttrSink
+	fl         *telemetry.Flight
 	mGCVictims *telemetry.Counter
 	mGCCopies  *telemetry.Counter
 	mGCForced  *telemetry.Counter
@@ -315,6 +316,20 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 	reg.Gauge("ftl/free_blocks", func(sim.Time) float64 { return float64(d.freeCount) })
 	reg.Gauge("ftl/free_slots", func(sim.Time) float64 { return float64(d.freeSlots) })
 	reg.Gauge("ftl/utilization", func(sim.Time) float64 { return d.Utilization() })
+	d.fl = p.Flight()
+	p.Heat().Register("ftl", d.heatSection)
+}
+
+// heatSection is the conventional FTL's heatmap source: the valid-page
+// fraction of every erasure block, downsampled to a grid — the spatial
+// picture GC victim selection acts on.
+func (d *Device) heatSection(sim.Time) telemetry.DeviceHeat {
+	fr := make([]float64, len(d.valid))
+	for b := range d.valid {
+		fr[b] = float64(d.valid[b]) / float64(d.pages)
+	}
+	cells, stride := telemetry.HeatCellsFrac(fr)
+	return telemetry.DeviceHeat{Blocks: &telemetry.GridHeat{Cells: cells, CellBlocks: stride}}
 }
 
 // CapacityPages reports the logical (host-visible) capacity in pages.

@@ -102,6 +102,7 @@ func (d *Device) incrementalGC(at sim.Time) sim.Time {
 				return at
 			}
 			d.gcVictim, d.gcCursor = v, 0
+			d.fl.Record(at, telemetry.FlightGCVictim, int32(v), "incremental", d.valid[v])
 		}
 		moved, done := d.relocateChunk(at, d.gcVictim, budget)
 		_ = done // chunk work proceeds concurrently; the write is not gated
@@ -341,6 +342,7 @@ func (d *Device) relocateAndErase(at sim.Time, victim int) (sim.Time, bool) {
 
 	d.gcRuns++
 	d.mGCVictims.Inc()
+	d.fl.Record(at, telemetry.FlightGCVictim, int32(victim), "", int64(d.counters.GCCopyPages-copied))
 	d.mGCCopies.Add(d.counters.GCCopyPages - copied)
 	d.tr.SpanArg(telemetry.ProcFTL, 0, "ftl", "gc_relocate", at, lastDone,
 		"victim", int64(victim))

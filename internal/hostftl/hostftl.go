@@ -122,6 +122,7 @@ type FTL struct {
 	reg          *telemetry.Registry
 	tr           *telemetry.Tracer
 	attr         *telemetry.AttrSink
+	fl           *telemetry.Flight
 	mRelocPages  *telemetry.Counter
 	mGCResets    *telemetry.Counter
 	mEmergencies *telemetry.Counter
@@ -206,6 +207,30 @@ func (f *FTL) SetProbe(p *telemetry.Probe) {
 	f.tr.NameTrack(telemetry.ProcHostFTL, 0, "reclaim")
 	reg.Gauge("hostftl/write_amp", func(sim.Time) float64 { return f.WriteAmp() })
 	reg.Gauge("hostftl/free_zones", func(sim.Time) float64 { return float64(len(f.freeZones)) })
+	f.fl = p.Flight()
+	p.Heat().Register("hostftl", f.heatSection)
+}
+
+// heatSection is the host FTL's heatmap source: per-zone snapshots carrying
+// the host's true valid-page fraction (valid pages / written pages) — the
+// liveness picture the raw device cannot see.
+func (f *FTL) heatSection(sim.Time) telemetry.DeviceHeat {
+	zones := make([]telemetry.ZoneHeat, f.dev.NumZones())
+	for z := range zones {
+		wp := f.dev.WP(z)
+		valid := float64(0)
+		if wp > 0 {
+			valid = float64(f.valid[z]) / float64(wp)
+		}
+		zones[z] = telemetry.ZoneHeat{
+			Zone:  z,
+			State: f.dev.State(z).String(),
+			WP:    wp,
+			Cap:   f.dev.WritableCap(z),
+			Valid: valid,
+		}
+	}
+	return telemetry.DeviceHeat{Zones: zones}
 }
 
 // CapacityPages reports the logical capacity in pages.

@@ -142,7 +142,8 @@ func (f *FTL) relocateAll(at sim.Time, victim int) (sim.Time, bool) {
 // finishVictim relocates the valid pages in [from, WP) of victim and resets
 // it, returning the reset completion time.
 func (f *FTL) finishVictim(at sim.Time, victim int, from int64) (sim.Time, bool) {
-	done, ok := f.relocateRange(at, victim, from, f.dev.WP(victim))
+	wp := f.dev.WP(victim)
+	done, ok := f.relocateRange(at, victim, from, wp)
 	if !ok {
 		return at, false
 	}
@@ -156,6 +157,7 @@ func (f *FTL) finishVictim(at sim.Time, victim int, from int64) (sim.Time, bool)
 	}
 	f.gcResets++
 	f.mGCResets.Inc()
+	f.fl.Record(at, telemetry.FlightReclaim, int32(victim), "", wp)
 	f.tr.SpanArg(telemetry.ProcHostFTL, 0, "hostftl", "reclaim_victim", at, resetDone,
 		"zone", int64(victim))
 	return resetDone, true
@@ -264,6 +266,7 @@ func (f *FTL) reclaimChunk(at sim.Time, budget, water int) {
 				return
 			}
 			f.gcVictim, f.gcCursor = v, 0
+			f.fl.Record(at, telemetry.FlightReclaim, int32(v), "incremental", f.valid[v])
 		}
 		wp := f.dev.WP(f.gcVictim)
 		end := f.gcCursor + int64(budget)

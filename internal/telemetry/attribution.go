@@ -170,6 +170,12 @@ type AttrSink struct {
 	// sum(phases) == total invariant; may allocate, so leave nil outside
 	// tests.
 	OnComplete func(op OpKind, total sim.Time, phases [NumPhases]sim.Time)
+
+	// OnViolation, if set, observes every invariant violation as it is
+	// counted. NewProbe wires it to the flight recorder so a violation dumps
+	// the recent device history; the hook may allocate (violations are
+	// exceptional by contract).
+	OnViolation func(at sim.Time)
 }
 
 // NewAttrSink returns an empty sink.
@@ -184,6 +190,9 @@ func (s *AttrSink) Begin(op OpKind, start sim.Time) {
 	}
 	if s.active {
 		s.violations++
+		if s.OnViolation != nil {
+			s.OnViolation(start)
+		}
 	}
 	s.active = true
 	s.suspended = 0
@@ -266,6 +275,9 @@ func (s *AttrSink) End(done sim.Time) {
 	}
 	if sum != total || s.suspended != 0 {
 		s.violations++
+		if s.OnViolation != nil {
+			s.OnViolation(done)
+		}
 	}
 	a := &s.ops[s.op]
 	a.Count++

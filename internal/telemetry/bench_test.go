@@ -17,6 +17,7 @@ func BenchmarkProbeDisabled(b *testing.B) {
 		r  *Registry
 		p  *Probe
 		a  *AttrSink
+		fl *Flight
 	)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -33,6 +34,11 @@ func BenchmarkProbeDisabled(b *testing.B) {
 		a.Suspend()
 		a.Resume()
 		a.End(at + 40*sim.Microsecond)
+		fl.Record(at, FlightTransition, 3, "empty->open", 0)
+		fl.Violation(at, FlightAuditViolation, 3, "illegal", 0)
+		if p.Flight() != nil || p.Heat() != nil {
+			b.Fatal("nil probe must resolve nil handles")
+		}
 	}
 }
 
@@ -65,6 +71,8 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 		tr *Tracer
 		r  *Registry
 		a  *AttrSink
+		fl *Flight
+		p  *Probe
 	)
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
@@ -74,6 +82,10 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 		a.Begin(OpWrite, 0)
 		a.Charge(PhaseGCStall, sim.Millisecond)
 		a.End(sim.Millisecond)
+		fl.Record(0, FlightErase, 7, "worn_out", 3)
+		fl.Violation(0, FlightAttrViolation, -1, "attribution_invariant", 0)
+		_ = p.Flight()
+		_ = p.Heat()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled path allocates %.1f allocs/op, want 0", allocs)

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blockhead/internal/sim"
+)
+
+func TestFlightRingWraparound(t *testing.T) {
+	f := NewFlight(4)
+	f.DumpTo = nil
+	for i := 0; i < 10; i++ {
+		f.Record(sim.Time(i), FlightTransition, int32(i), "empty->open", int64(i))
+	}
+	if f.Len() != 4 || f.Total() != 10 || f.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d", f.Len(), f.Total(), f.Dropped())
+	}
+	ev := f.Events()
+	if len(ev) != 4 {
+		t.Fatalf("Events len = %d", len(ev))
+	}
+	// Oldest first: events 6..9 survive.
+	for i, e := range ev {
+		if e.Unit != int32(6+i) {
+			t.Errorf("event %d unit = %d, want %d", i, e.Unit, 6+i)
+		}
+	}
+}
+
+func TestFlightPartialRing(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(sim.Millisecond, FlightReset, 2, "", 4)
+	f.Record(2*sim.Millisecond, FlightErase, 9, "", 1)
+	if f.Len() != 2 || f.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", f.Len(), f.Dropped())
+	}
+	ev := f.Events()
+	if ev[0].Kind != FlightReset || ev[1].Kind != FlightErase {
+		t.Fatalf("order wrong: %v %v", ev[0].Kind, ev[1].Kind)
+	}
+}
+
+func TestFlightViolationAutoDumpCapped(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFlight(8)
+	f.DumpTo = &buf
+	for i := 0; i < 10; i++ {
+		f.Violation(sim.Time(i), FlightAuditViolation, 1, "illegal", 0)
+	}
+	if f.Violations() != 10 {
+		t.Fatalf("Violations = %d", f.Violations())
+	}
+	// A violation storm must not flood the output: at most 3 auto dumps.
+	if n := strings.Count(buf.String(), "flight recorder:"); n < 3 {
+		t.Fatalf("auto dumps = %d, want 3 (plus their headers)", n)
+	}
+	dumps := strings.Count(buf.String(), "dumping last")
+	if dumps != 3 {
+		t.Fatalf("auto dumps = %d, want exactly 3", dumps)
+	}
+	// nil DumpTo disables auto dumps without losing the count.
+	f2 := NewFlight(4)
+	f2.DumpTo = nil
+	f2.Violation(0, FlightAttrViolation, -1, "x", 0)
+	if f2.Violations() != 1 {
+		t.Fatal("violation not counted with dumps disabled")
+	}
+}
+
+func TestFlightDumpJSONShape(t *testing.T) {
+	f := NewFlight(4)
+	f.DumpTo = nil
+	f.Record(1500*sim.Microsecond, FlightGCVictim, 7, "incremental", 12)
+	d := f.Dump()
+	if d.Total != 1 || d.Violations != 0 || len(d.Events) != 1 {
+		t.Fatalf("dump = %+v", d)
+	}
+	e := d.Events[0]
+	if e.AtMillis != 1.5 || e.Kind != "gc_victim" || e.Unit != 7 || e.Detail != "incremental" || e.Arg != 12 {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Record(0, FlightErase, 0, "", 0)
+	f.Violation(0, FlightAuditViolation, 0, "", 0)
+	if f.Len() != 0 || f.Total() != 0 || f.Dropped() != 0 || f.Violations() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	if ev := f.Events(); len(ev) != 0 {
+		t.Fatal("nil recorder returned events")
+	}
+	d := f.Dump()
+	if d.Total != 0 || len(d.Events) != 0 {
+		t.Fatal("nil recorder dumped events")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightKindStrings(t *testing.T) {
+	want := map[FlightKind]string{
+		FlightTransition: "transition", FlightReset: "reset",
+		FlightErase: "erase", FlightWPConflict: "wp_conflict",
+		FlightGCVictim: "gc_victim", FlightReclaim: "reclaim",
+		FlightAuditViolation: "audit_violation", FlightAttrViolation: "attr_violation",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if FlightKind(200).String() != "unknown" {
+		t.Error("out-of-range kind")
+	}
+}

@@ -26,6 +26,8 @@ func TestGoldenSchemas(t *testing.T) {
 	}{
 		{"metrics", "metrics.golden.json", p.Registry().Dump(4 * sim.Millisecond)},
 		{"attribution", "attribution.golden.json", p.Attribution().Dump()},
+		{"heatmap", "heatmap.golden.json", p.HeatDump(4 * sim.Millisecond)},
+		{"flight", "flight.golden.json", p.Flight().Dump()},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			got, err := json.MarshalIndent(tc.dump, "", "  ")

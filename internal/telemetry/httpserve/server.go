@@ -57,6 +57,8 @@ type Server struct {
 	seq     uint64
 	metrics []byte // marshaled telemetry.MetricsDump
 	attr    []byte // marshaled telemetry.AttrDump
+	heat    []byte // marshaled telemetry.HeatmapDump
+	flight  []byte // marshaled telemetry.FlightDump
 	sample  []byte // marshaled sampleEvent (latest SSE payload)
 
 	subMu sync.Mutex
@@ -109,6 +111,8 @@ func New(probe *telemetry.Probe, opts Options) (*Server, error) {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics.json", s.handleMetrics)
 	mux.HandleFunc("/attribution.json", s.handleAttribution)
+	mux.HandleFunc("/heatmap.json", s.handleHeatmap)
+	mux.HandleFunc("/flight.json", s.handleFlight)
 	mux.HandleFunc("/events", s.handleEvents)
 	s.srv = &http.Server{Handler: mux}
 	s.Publish(0)
@@ -169,6 +173,14 @@ func (s *Server) Publish(at sim.Time) {
 	if err != nil {
 		attr = []byte("{}")
 	}
+	heat, err := json.Marshal(s.probe.HeatDump(at))
+	if err != nil {
+		heat = []byte("{}")
+	}
+	flight, err := json.Marshal(s.probe.Flight().Dump())
+	if err != nil {
+		flight = []byte("{}")
+	}
 
 	s.mu.Lock()
 	s.seq++
@@ -182,6 +194,7 @@ func (s *Server) Publish(at sim.Time) {
 		sample = []byte("{}")
 	}
 	s.metrics, s.attr, s.sample = metrics, attr, sample
+	s.heat, s.flight = heat, flight
 	s.lastPub = time.Now()
 	s.mu.Unlock()
 
@@ -226,6 +239,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleAttribution(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	body := s.attr
+	s.mu.Unlock()
+	s.serveJSON(w, body)
+}
+
+func (s *Server) handleHeatmap(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.heat
+	s.mu.Unlock()
+	s.serveJSON(w, body)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.flight
 	s.mu.Unlock()
 	s.serveJSON(w, body)
 }

@@ -2,10 +2,12 @@ package httpserve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -14,7 +16,9 @@ import (
 )
 
 // testProbe builds a probe with deterministic contents: two counters, one
-// gauge, one histogram, and an attribution sink with one read and one write.
+// gauge, one histogram, an attribution sink with one read and one write, two
+// heatmap sources, and a flight recorder holding a short history ending in
+// one violation (auto-dump discarded).
 func testProbe() *telemetry.Probe {
 	p := telemetry.NewProbe(telemetry.Options{SampleEvery: sim.Millisecond})
 	p.Metrics.Counter("ftl/host_writes").Add(7)
@@ -31,6 +35,28 @@ func testProbe() *telemetry.Probe {
 	a.Begin(telemetry.OpRead, 0)
 	a.Charge(telemetry.PhaseNANDRead, 60*sim.Microsecond)
 	a.End(60 * sim.Microsecond)
+
+	p.HeatSrc.Register("flash", func(sim.Time) telemetry.DeviceHeat {
+		return telemetry.DeviceHeat{
+			Wear: &telemetry.WearHeat{Blocks: 4, MaxErase: 3, MeanErase: 1.5,
+				Spread: 2, Skew: 2,
+				Hist: []telemetry.WearBucket{
+					{Lo: 0, Hi: 1, Blocks: 2}, {Lo: 2, Hi: 3, Blocks: 2}},
+				Cells: []uint32{1, 3, 0, 2}, CellBlocks: 1},
+			Channels: []telemetry.UnitOcc{{ID: 0, BusyFrac: 0.5}},
+			LUNs:     []telemetry.UnitOcc{{ID: 0, BusyFrac: 0.25}, {ID: 1, BusyFrac: 0.75}},
+		}
+	})
+	p.HeatSrc.Register("zns", func(sim.Time) telemetry.DeviceHeat {
+		return telemetry.DeviceHeat{Zones: []telemetry.ZoneHeat{
+			{Zone: 0, State: "open", WP: 5, Cap: 16, Valid: -1},
+			{Zone: 1, State: "full", WP: 16, Cap: 16, Valid: 0.5},
+		}}
+	})
+	p.FlightRec.DumpTo = io.Discard
+	p.FlightRec.Record(sim.Millisecond, telemetry.FlightTransition, 0, "empty->open", 1)
+	p.FlightRec.Record(2*sim.Millisecond, telemetry.FlightReset, 1, "", 4)
+	p.FlightRec.Violation(3*sim.Millisecond, telemetry.FlightAuditViolation, 1, "empty->closed", 0)
 	return p
 }
 
@@ -90,8 +116,106 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("write phases = %+v", ad.Ops["write"].Phases)
 	}
 
+	var hd telemetry.HeatmapDump
+	if err := json.Unmarshal(get(t, s.URL()+"/heatmap.json"), &hd); err != nil {
+		t.Fatalf("heatmap.json: %v", err)
+	}
+	if len(hd.Devices) != 2 || hd.Devices[0].Name != "flash" || hd.Devices[1].Name != "zns" {
+		t.Fatalf("heatmap.json devices = %+v", hd.Devices)
+	}
+	if hd.Devices[0].Wear == nil || hd.Devices[0].Wear.MaxErase != 3 {
+		t.Fatalf("heatmap.json wear = %+v", hd.Devices[0].Wear)
+	}
+	if len(hd.Devices[1].Zones) != 2 || hd.Devices[1].Zones[1].State != "full" {
+		t.Fatalf("heatmap.json zones = %+v", hd.Devices[1].Zones)
+	}
+
+	var fd telemetry.FlightDump
+	if err := json.Unmarshal(get(t, s.URL()+"/flight.json"), &fd); err != nil {
+		t.Fatalf("flight.json: %v", err)
+	}
+	if fd.Total != 3 || fd.Violations != 1 || len(fd.Events) != 3 {
+		t.Fatalf("flight.json = %+v", fd)
+	}
+	if fd.Events[2].Kind != "audit_violation" || fd.Events[2].Detail != "empty->closed" {
+		t.Fatalf("flight.json last event = %+v", fd.Events[2])
+	}
+
 	if !strings.Contains(string(get(t, s.URL()+"/")), "blockhead — live telemetry") {
 		t.Fatal("dashboard HTML not served at /")
+	}
+}
+
+// TestConcurrentPublishAndServe races one publisher (the "simulation thread")
+// against handler reads of every endpoint and SSE clients that subscribe,
+// read, and hang up mid-stream. Run under -race via `make check`.
+func TestConcurrentPublishAndServe(t *testing.T) {
+	s := startServer(t)
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for i := 1; i <= 60; i++ {
+			s.Publish(sim.Time(i) * sim.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				for _, ep := range []string{
+					"/metrics.json", "/attribution.json", "/heatmap.json", "/flight.json", "/",
+				} {
+					resp, err := http.Get(s.URL() + ep)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				req, err := http.NewRequestWithContext(ctx, "GET", s.URL()+"/events", nil)
+				if err != nil {
+					cancel()
+					t.Error(err)
+					return
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					cancel()
+					t.Error(err)
+					return
+				}
+				// Read the replayed sample, then hang up mid-stream: the
+				// unsubscribe path races the broadcast in Publish.
+				buf := make([]byte, 512)
+				resp.Body.Read(buf) //nolint:errcheck
+				cancel()
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	<-pubDone
+
+	// The server must still serve a coherent final snapshot.
+	var fd telemetry.FlightDump
+	if err := json.Unmarshal(get(t, s.URL()+"/flight.json"), &fd); err != nil {
+		t.Fatal(err)
+	}
+	if fd.Total == 0 {
+		t.Fatal("flight snapshot empty after concurrent churn")
 	}
 }
 

@@ -11,6 +11,11 @@ type Probe struct {
 	Trace   *Tracer
 	Attr    *AttrSink
 
+	// HeatSrc collects the spatial (heatmap) snapshot sources registered by
+	// device models; FlightRec is the shared flight recorder they append to.
+	HeatSrc   *HeatSet
+	FlightRec *Flight
+
 	// Pub, if set, is poked from Tick so a live exporter (the HTTP
 	// monitoring server) can publish fresh snapshots while the simulation
 	// runs. Implementations throttle internally.
@@ -33,11 +38,23 @@ type Options struct {
 	TraceEvents int
 }
 
-// NewProbe builds an armed probe.
+// NewProbe builds an armed probe. The attribution sink's violation hook is
+// pre-wired to the flight recorder, so any attribution-invariant violation
+// dumps the recent device history automatically.
 func NewProbe(opts Options) *Probe {
 	reg := NewRegistry()
 	reg.SampleEvery(opts.SampleEvery)
-	return &Probe{Metrics: reg, Trace: NewTracer(opts.TraceEvents), Attr: NewAttrSink()}
+	p := &Probe{
+		Metrics:   reg,
+		Trace:     NewTracer(opts.TraceEvents),
+		Attr:      NewAttrSink(),
+		HeatSrc:   NewHeatSet(),
+		FlightRec: NewFlight(0),
+	}
+	p.Attr.OnViolation = func(at sim.Time) {
+		p.FlightRec.Violation(at, FlightAttrViolation, -1, "attribution_invariant", 0)
+	}
+	return p
 }
 
 // Registry returns the metrics registry, or nil on a nil probe — the
@@ -64,6 +81,28 @@ func (p *Probe) Attribution() *AttrSink {
 		return nil
 	}
 	return p.Attr
+}
+
+// Heat returns the heatmap-source registry, or nil on a nil probe.
+func (p *Probe) Heat() *HeatSet {
+	if p == nil {
+		return nil
+	}
+	return p.HeatSrc
+}
+
+// Flight returns the flight recorder, or nil on a nil probe.
+func (p *Probe) Flight() *Flight {
+	if p == nil {
+		return nil
+	}
+	return p.FlightRec
+}
+
+// HeatDump snapshots every registered heatmap source; safe on a nil probe
+// (empty dump).
+func (p *Probe) HeatDump(at sim.Time) HeatmapDump {
+	return p.Heat().Dump(at)
 }
 
 // Tick advances the sampler and pokes the live publisher; nil-safe, so it

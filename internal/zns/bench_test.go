@@ -5,6 +5,7 @@ import (
 
 	"blockhead/internal/flash"
 	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
 )
 
 func benchDev(b *testing.B) *Device {
@@ -57,6 +58,26 @@ func BenchmarkRead(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkProbeDisabledAudit pins that the auditor and flight-recorder
+// hooks on the transition path are free when absent: nil receivers, zero
+// allocations — the same contract BenchmarkProbeDisabled pins for the rest
+// of the telemetry surface.
+func BenchmarkProbeDisabledAudit(b *testing.B) {
+	var a *Auditor
+	var fl *telemetry.Flight
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(i)
+		a.observe(at, 0, Empty, Open)
+		a.observe(at, 0, Open, Full)
+		fl.Record(at, telemetry.FlightTransition, 0, transPair[Empty][Open], 0)
+		fl.Violation(at, telemetry.FlightAuditViolation, 0, "", 0)
+	}
+	if a.Violations() != 0 || fl.Total() != 0 {
+		b.Fatal("nil receivers recorded state")
 	}
 }
 

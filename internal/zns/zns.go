@@ -124,10 +124,15 @@ type Device struct {
 	resets   uint64
 	appends  uint64
 
+	// audit, when attached, shadows the zone state machine and validates
+	// every transition (audit.go). Nil (no-op) without AttachAuditor.
+	audit *Auditor
+
 	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
 	reg     *telemetry.Registry
 	tr      *telemetry.Tracer
 	attr    *telemetry.AttrSink
+	fl      *telemetry.Flight
 	mTrans  [numZoneStates]*telemetry.Counter
 	mResets *telemetry.Counter
 	mAppend *telemetry.Counter
@@ -216,17 +221,24 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 	reg.Gauge("zns/active_zones", func(sim.Time) float64 { return float64(d.active) })
 	reg.Gauge("zns/open_zones", func(sim.Time) float64 { return float64(d.open) })
 	reg.Gauge("zns/write_amp", func(sim.Time) float64 { return d.counters.WriteAmp() })
+	reg.Gauge("zns/audit/violations", func(sim.Time) float64 { return float64(d.audit.Violations()) })
+	d.fl = p.Flight()
+	p.Heat().Register("zns", d.heatSection)
 }
 
 // transition moves a zone to a new state, recording the telemetry event.
-// All zone state changes must route through here so the transition counters
-// and the per-zone trace track stay complete.
+// All zone state changes must route through here so the transition counters,
+// the per-zone trace track, the flight recorder, and the state-machine
+// auditor stay complete.
 func (d *Device) transition(at sim.Time, z int, to ZoneState) {
 	zn := &d.zones[z]
-	if zn.state == to {
+	from := zn.state
+	if from == to {
 		return
 	}
 	zn.state = to
+	d.audit.observe(at, z, from, to)
+	d.fl.Record(at, telemetry.FlightTransition, int32(z), transPair[from][to], zn.wp)
 	d.mTrans[to].Inc()
 	d.tr.Instant(telemetry.ProcZone, int32(z), "zns", transNames[to], at)
 }
@@ -452,6 +464,7 @@ func (d *Device) Reset(at sim.Time, z int) (sim.Time, error) {
 	}
 	d.tr.SpanArg(telemetry.ProcZone, int32(z), "zns", "reset", at, done, "blocks", int64(len(zn.blocks)))
 	d.transition(at, z, Empty)
+	d.fl.Record(at, telemetry.FlightReset, int32(z), "", int64(len(zn.blocks)))
 	d.resets++
 	d.mResets.Inc()
 	return done, nil
@@ -517,6 +530,7 @@ func (d *Device) Write(at sim.Time, lba int64, data []byte) (sim.Time, error) {
 		// append eliminates.
 		d.reg.Counter("zns/write/wp_conflicts").Inc()
 		d.tr.Instant(telemetry.ProcZone, int32(z), "zns", "wp_conflict", at)
+		d.fl.Record(at, telemetry.FlightWPConflict, int32(z), "", offset)
 		return at, ErrNotWritePtr
 	}
 	_, done, err := d.write(at, z, data)
