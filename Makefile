@@ -4,17 +4,26 @@
 
 GO ?= go
 
-.PHONY: all check vet build test bench-telemetry bench bench-compare fuzz fuzz-zns update-golden clean
+.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns update-golden clean
 
 all: check
 
-check: vet build test bench-telemetry
+check: vet build lint test bench-telemetry
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Project-specific static analysis (docs/static-analysis.md): determinism
+# (no wall clock/global rand/map-order leaks), concurrency (sim core is a
+# single-threaded virtual-time loop), nilguard (nil instruments are no-ops),
+# tickunit (no time.Duration in tick arithmetic). Exits non-zero on any
+# finding — including an unjustified //simlint:allow, so `make check` fails
+# on reason-less or unused exemptions.
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 test:
 	$(GO) test -race ./...

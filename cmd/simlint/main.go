@@ -1,0 +1,61 @@
+// Command simlint runs the project's static-analysis suite over the module:
+// the determinism, concurrency, nil-guard, and tick-unit contracts that keep
+// every simulation bit-identical across runs and every disabled instrument a
+// zero-alloc no-op. See docs/static-analysis.md for the rule set and the
+// //simlint:allow escape hatch.
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...
+//
+// Exit status is 0 when the module is clean, 1 when there are findings, and
+// 2 when packages fail to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"blockhead/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "print the rule set and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-rules] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Lints the module against the simulator's determinism, concurrency,\nnil-guard, and tick-unit contracts. Defaults to ./... when no package\npattern is given.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *rules {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadModule(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := lint.Check(pkgs)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Rule, f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+// TestE4ReportByteIdentical pins the determinism contract end to end: two
+// runs of the E4 latency experiment from the same seed must render
+// byte-identical reports. simlint (cmd/simlint) enforces the contract
+// statically — no wall clock, no global rand, no map-order leaks — and this
+// test enforces it dynamically, so a nondeterminism regression fails even if
+// it slips past the static rules.
+func TestE4ReportByteIdentical(t *testing.T) {
+	e, ok := ByID("E4")
+	if !ok {
+		t.Fatal("E4 not registered")
+	}
+	r1, err := e.Run(quickCfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	r2, err := e.Run(quickCfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	a, b := r1.Format(), r2.Format()
+	if a == b {
+		return
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("reports diverge at byte %d:\n run1: ...%q\n run2: ...%q", i, a[lo:i+1], b[lo:i+1])
+		}
+	}
+	t.Fatalf("reports differ in length: %d vs %d bytes", len(a), len(b))
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goListExport runs `go list -export -deps -json` on the given patterns and
+// returns the decoded package records plus an ImportPath -> export-data-file
+// map covering every dependency. This is the one place the analyzer shells
+// out; everything downstream is pure go/parser + go/types. -export works
+// fully offline: the toolchain populates the local build cache.
+func goListExport(dir string, patterns []string) ([]listPkg, map[string]string, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []listPkg
+	exports := make(map[string]string)
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, exports, nil
+}
+
+// exportImporter resolves imports from compiler export data, the same way go
+// vet does. Only paths present in the map can be imported; "unsafe" is
+// special-cased by the gc importer itself.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// LoadModule loads and type-checks the non-test files of every module package
+// matched by patterns (e.g. "./...") relative to dir. Dependencies — both
+// stdlib and intra-module — resolve through export data, so each package is
+// checked independently without a topological from-source pass.
+func LoadModule(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	raw, exports, err := goListExport(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range raw {
+		// Lint the packages the pattern named (DepOnly marks pure
+		// dependencies); skip stdlib and test-only directories.
+		if lp.Standard || lp.DepOnly || len(lp.GoFiles) == 0 {
+			continue
+		}
+		p, err := typeCheck(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadTree loads a GOPATH-style source tree rooted at root: every directory
+// containing .go files becomes a package whose import path is its relative
+// path. Imports inside the tree resolve recursively from source; anything
+// else (stdlib) resolves from export data. This is how the testdata fixtures
+// load — they mirror real module paths like blockhead/internal/ftl so the
+// path-scoped rules fire exactly as they do on the real module.
+func LoadTree(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		rel, rerr := filepath.Rel(root, filepath.Dir(path))
+		if rerr != nil {
+			return rerr
+		}
+		ip := filepath.ToSlash(rel)
+		parsed[ip] = append(parsed[ip], f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(parsed) == 0 {
+		return nil, fmt.Errorf("no Go files under %s", root)
+	}
+	// Collect the external (stdlib) imports so one go list call can provide
+	// export data for all of them.
+	extSet := make(map[string]bool)
+	for _, files := range parsed {
+		for _, f := range files {
+			for _, im := range f.Imports {
+				ip, _ := strconv.Unquote(im.Path.Value)
+				if _, inTree := parsed[ip]; !inTree && ip != "unsafe" {
+					extSet[ip] = true
+				}
+			}
+		}
+	}
+	var ext []string
+	for ip := range extSet {
+		ext = append(ext, ip)
+	}
+	sort.Strings(ext)
+	var std types.Importer
+	if len(ext) > 0 {
+		_, exports, err := goListExport(root, ext)
+		if err != nil {
+			return nil, err
+		}
+		std = exportImporter(fset, exports)
+	}
+	ti := &treeImporter{fset: fset, parsed: parsed, std: std, done: make(map[string]*Package), loading: make(map[string]bool)}
+	var paths []string
+	for ip := range parsed {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	var pkgs []*Package
+	for _, ip := range paths {
+		p, err := ti.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+type treeImporter struct {
+	fset    *token.FileSet
+	parsed  map[string][]*ast.File
+	std     types.Importer
+	done    map[string]*Package
+	loading map[string]bool
+}
+
+func (t *treeImporter) Import(path string) (*types.Package, error) {
+	if _, ok := t.parsed[path]; ok {
+		p, err := t.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if t.std == nil {
+		return nil, fmt.Errorf("no importer for %q", path)
+	}
+	return t.std.Import(path)
+}
+
+func (t *treeImporter) load(path string) (*Package, error) {
+	if p, ok := t.done[path]; ok {
+		return p, nil
+	}
+	if t.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	t.loading[path] = true
+	defer delete(t.loading, path)
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: t}
+	tpkg, err := conf.Check(path, t.fset, t.parsed[path], info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	p := &Package{Path: path, Fset: t.fset, Files: t.parsed[path], Types: tpkg, Info: info}
+	t.done[path] = p
+	return p, nil
+}

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkNilGuard enforces the telemetry no-op contract: a nil instrument
+// handle is "telemetry off", so device hot paths call it unconditionally and
+// the disabled path stays at 0 allocs/op. Every exported pointer-receiver
+// method on a contracted type must therefore establish nil-safety as its
+// first action, in one of three forms:
+//
+//  1. a leading guard statement:        if recv == nil { ... return }
+//  2. a guarded expression return:      return recv != nil && ...
+//  3. pure delegation — a single statement whose call chain starts at the
+//     receiver and passes only through exported pointer-receiver methods of
+//     contracted types (each of which is itself checked), e.g.
+//     func (c *Counter) Inc() { c.Add(1) }
+//
+// Contracted types are the exported types of internal/telemetry plus any
+// type carrying a //simlint:nilsafe directive (the zns zone-state auditor).
+func checkNilGuard(p *Package, rep *reporter) {
+	telemetryPkg := strings.HasSuffix(p.Path, "internal/telemetry")
+	markers := markerTypes(p)
+	if !telemetryPkg && len(markers) == 0 {
+		return
+	}
+	contracted := func(tn *types.TypeName) bool {
+		if markers[tn] {
+			return true
+		}
+		return telemetryPkg && tn.Pkg() == p.Types && tn.Exported()
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			if !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) == 0 || names[0].Name == "_" {
+				continue // no receiver name means no way to dereference it
+			}
+			recvObj := p.Info.Defs[names[0]]
+			if recvObj == nil {
+				continue
+			}
+			ptr, ok := recvObj.Type().(*types.Pointer)
+			if !ok {
+				continue // value receivers cannot be nil
+			}
+			named, ok := ptr.Elem().(*types.Named)
+			if !ok || !contracted(named.Obj()) {
+				continue
+			}
+			if guardOK(p, fd.Body, recvObj, markers) {
+				continue
+			}
+			rep.findf(fd.Name.Pos(), "nilguard",
+				"exported method (*%s).%s must start with a nil-receiver guard (`if %s == nil { ... return }`); the nil instrument is the disabled no-op path pinned at 0 allocs/op",
+				named.Obj().Name(), fd.Name.Name, names[0].Name)
+		}
+	}
+}
+
+// markerTypes collects the types declared with a //simlint:nilsafe directive
+// on their type declaration.
+func markerTypes(p *Package) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, sp := range gd.Specs {
+				ts, ok := sp.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasNilsafeDirective(gd.Doc) || hasNilsafeDirective(ts.Doc) || hasNilsafeDirective(ts.Comment) {
+					if tn, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+						out[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasNilsafeDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if !strings.HasPrefix(c.Text, "//simlint:") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(c.Text, "//simlint:"))
+		if len(fields) > 0 && fields[0] == "nilsafe" {
+			return true
+		}
+	}
+	return false
+}
+
+func guardOK(p *Package, body *ast.BlockStmt, recv types.Object, markers map[*types.TypeName]bool) bool {
+	if len(body.List) == 0 {
+		return true // empty body cannot dereference the receiver
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		// Form 1: if recv == nil { ... return }  (possibly recv == nil || ...)
+		if condTestsNil(p, first.Cond, recv, token.EQL) &&
+			len(first.Body.List) > 0 && endsInReturn(first.Body) {
+			return true
+		}
+	case *ast.ReturnStmt:
+		// Form 2: return recv != nil && ...
+		for _, res := range first.Results {
+			if exprTestsNil(p, res, recv) {
+				return true
+			}
+		}
+	}
+	// Form 3: single-statement delegation through contracted methods.
+	if len(body.List) == 1 {
+		var root ast.Expr
+		switch st := body.List[0].(type) {
+		case *ast.ExprStmt:
+			root = st.X
+		case *ast.ReturnStmt:
+			if len(st.Results) == 1 {
+				root = st.Results[0]
+			}
+		}
+		if call, ok := root.(*ast.CallExpr); ok && delegationChainSafe(p, call, recv, markers) {
+			return true
+		}
+	}
+	return false
+}
+
+// condTestsNil reports whether cond contains `recv op nil` as a top-level
+// disjunct (op == EQL) — e.g. `recv == nil` or `recv == nil || other`.
+func condTestsNil(p *Package, cond ast.Expr, recv types.Object, op token.Token) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == token.LOR {
+		return condTestsNil(p, be.X, recv, op) || condTestsNil(p, be.Y, recv, op)
+	}
+	if be.Op != op {
+		return false
+	}
+	return isRecvNilPair(p, be.X, be.Y, recv)
+}
+
+// exprTestsNil reports whether the expression contains a `recv == nil` or
+// `recv != nil` comparison anywhere — good enough for form 2, where the
+// method's entire body is one boolean expression over the receiver.
+func exprTestsNil(p *Package, e ast.Expr, recv types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && (be.Op == token.EQL || be.Op == token.NEQ) {
+			if isRecvNilPair(p, be.X, be.Y, recv) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isRecvNilPair(p *Package, a, b ast.Expr, recv types.Object) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && p.Info.ObjectOf(id) == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isN := p.Info.ObjectOf(id).(*types.Nil)
+		return isN
+	}
+	return (isRecv(a) && isNil(b)) || (isNil(a) && isRecv(b))
+}
+
+// endsInReturn reports whether the block's final statement is a return.
+func endsInReturn(b *ast.BlockStmt) bool {
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// delegationChainSafe verifies form 3: the call chain is rooted at the
+// receiver identifier, and every link that can receive a nil pointer — the
+// base link (which receives the actual receiver) and any pointer-receiver
+// link on an intermediate result — is an exported method on a contracted
+// type, so it carries its own (checked) nil guard. Value-receiver links on
+// call results are safe unconditionally: a non-pointer operand cannot be
+// nil. The arguments must not mention the receiver — `c.Add(c.v)` would
+// dereference it before the callee's guard runs.
+func delegationChainSafe(p *Package, call *ast.CallExpr, recv types.Object, markers map[*types.TypeName]bool) bool {
+	for _, arg := range call.Args {
+		mentions := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == recv {
+				mentions = true
+			}
+			return !mentions
+		})
+		if mentions {
+			return false
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	ptrRecv := false
+	if _, ok := sig.Recv().Type().(*types.Pointer); !ok {
+		// Value receiver: safe only when the operand is a value too — calling
+		// a value-receiver method on a nil pointer operand auto-derefs.
+		if _, operandIsPtr := p.Info.TypeOf(sel.X).(*types.Pointer); operandIsPtr {
+			return false
+		}
+	}
+	if ptr, ok := sig.Recv().Type().(*types.Pointer); ok {
+		ptrRecv = true
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			return false
+		}
+		tn := named.Obj()
+		if !fn.Exported() {
+			return false
+		}
+		if !markers[tn] && !(tn.Exported() && tn.Pkg() != nil && strings.HasSuffix(tn.Pkg().Path(), "internal/telemetry")) {
+			return false
+		}
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		// The base link receives the receiver itself, so it must be a
+		// guarded (pointer-receiver, contracted) method.
+		return ptrRecv && p.Info.ObjectOf(x) == recv
+	case *ast.CallExpr:
+		return delegationChainSafe(p, x, recv, markers)
+	default:
+		return false
+	}
+}

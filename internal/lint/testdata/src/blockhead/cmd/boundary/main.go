@@ -1,0 +1,20 @@
+// Command boundary fixtures: cmd/ is the sanctioned wall-clock boundary.
+// Concurrency and time.Duration are legal here, and a Duration flag converts
+// to ticks explicitly through integer nanoseconds — but a direct
+// Duration->Time conversion is a tickunit finding even here.
+package main
+
+import (
+	"time"
+
+	"blockhead/internal/sim"
+)
+
+func main() {
+	every := 10 * time.Millisecond
+	_ = sim.Time(every.Nanoseconds()) // explicit ns conversion — no finding
+	_ = sim.Time(every)               // want `\[tickunit\] direct conversion`
+	done := make(chan struct{})       // concurrency is legal in cmd/
+	go func() { close(done) }()
+	<-done
+}

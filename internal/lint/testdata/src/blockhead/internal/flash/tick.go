@@ -1,0 +1,25 @@
+// Package flash fixtures: the tickunit rule inside a sim-core package —
+// wall-duration types and direct Duration<->Time conversions are findings;
+// pure tick arithmetic passes.
+package flash
+
+import (
+	"time"
+
+	"blockhead/internal/sim"
+)
+
+const pageRead sim.Time = 25_000
+
+// ticksPerOp is pure tick arithmetic — no finding.
+func ticksPerOp(n int64) sim.Time {
+	return pageRead * sim.Time(n)
+}
+
+func fromWall(d time.Duration) sim.Time { // want `\[tickunit\] time\.Duration in a sim-core package`
+	return sim.Time(d) // want `\[tickunit\] direct conversion`
+}
+
+func toWall(t sim.Time) time.Duration { // want `\[tickunit\] time\.Duration in a sim-core package`
+	return time.Duration(t) // want `\[tickunit\] direct conversion`
+}

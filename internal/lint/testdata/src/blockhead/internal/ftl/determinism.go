@@ -1,0 +1,62 @@
+// Package ftl fixtures: the determinism rule inside a sim-core package —
+// wall-clock reads, the global rand source, and order-dependent map
+// iteration are findings; seeded rand and order-insensitive iteration pass.
+package ftl
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `\[determinism\] time\.Now reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `\[determinism\] math/rand\.Intn draws from the process-global random source`
+}
+
+// seeded uses an explicitly seeded generator — reproducible, no finding.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// leakOrder feeds map iteration order straight into its output slice.
+func leakOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `\[determinism\] iteration over map m`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys is the canonical fix: collect, sort, then use — no finding.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// total only accumulates commutatively — order-insensitive, no finding.
+func total(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// findAny returns a value chosen by map order — nondeterministic.
+func findAny(m map[int]int) int {
+	for _, v := range m { // want `\[determinism\] iteration over map m`
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}

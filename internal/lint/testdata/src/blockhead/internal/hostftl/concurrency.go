@@ -1,0 +1,39 @@
+// Package hostftl fixtures: the concurrency rule inside a sim-core package —
+// goroutines, channels, and sync primitives are findings; straight-line code
+// passes.
+package hostftl
+
+import "sync"
+
+func fanOut(work []int) int {
+	var mu sync.Mutex // want `\[concurrency\] sync\.Mutex`
+	total := 0
+	var wg sync.WaitGroup // want `\[concurrency\] sync\.WaitGroup`
+	for _, w := range work {
+		w := w
+		wg.Add(1)
+		go func() { // want `\[concurrency\] go statement`
+			defer wg.Done()
+			mu.Lock()
+			total += w
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func pipe() int {
+	ch := make(chan int, 1) // want `\[concurrency\] channel type`
+	ch <- 41                // want `\[concurrency\] channel send`
+	return <-ch             // want `\[concurrency\] channel receive`
+}
+
+// serial does the same work on the event loop's thread — no finding.
+func serial(work []int) int {
+	total := 0
+	for _, w := range work {
+		total += w
+	}
+	return total
+}

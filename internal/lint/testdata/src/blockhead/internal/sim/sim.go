@@ -1,0 +1,7 @@
+// Package sim is a minimal stub of the real virtual-time substrate, just
+// enough for the fixtures to exercise the tickunit rule's sim.Time
+// detection.
+package sim
+
+// Time is a point in virtual time, in nanoseconds.
+type Time int64

@@ -1,0 +1,40 @@
+// Package telemetry fixtures: the nilguard rule. Every exported type in a
+// package at internal/telemetry is contracted — its exported
+// pointer-receiver methods must establish nil-safety as their first action.
+package telemetry
+
+// Probe is a contracted instrument handle.
+type Probe struct {
+	n int
+}
+
+// Add is guarded — compliant form 1.
+func (p *Probe) Add(n int) {
+	if p == nil {
+		return
+	}
+	p.n += n
+}
+
+// Inc delegates to a guarded contracted method — compliant form 3.
+func (p *Probe) Inc() { p.Add(1) }
+
+// Active tests the receiver in its return expression — compliant form 2.
+func (p *Probe) Active() bool { return p != nil && p.n > 0 }
+
+// Value dereferences the receiver with no guard.
+func (p *Probe) Value() int { // want `\[nilguard\] exported method \(\*Probe\)\.Value`
+	return p.n
+}
+
+// Bump delegates, but the argument dereferences the receiver before the
+// callee's guard can run.
+func (p *Probe) Bump() { p.Add(p.n) } // want `\[nilguard\] exported method \(\*Probe\)\.Bump`
+
+// Snapshot has a value receiver; it cannot be nil — no finding.
+func (p Probe) Snapshot() int { return p.n }
+
+// ring is unexported, so its methods are outside the contract — no finding.
+type ring struct{ n int }
+
+func (r *ring) Grow() { r.n++ }

@@ -1,0 +1,24 @@
+// Package httpserve fixtures: the concurrency rule's scope exemption. This
+// path mirrors the real HTTP telemetry server, where goroutines, channels,
+// and wall-duration throttles are legitimate — none of them may be flagged.
+// The wall-clock read is still a determinism finding and needs its allow.
+package httpserve
+
+import "time"
+
+type server struct {
+	events chan string
+	every  time.Duration
+}
+
+func start() *server {
+	s := &server{events: make(chan string, 4), every: 250 * time.Millisecond}
+	go func() {
+		s.events <- "ready"
+	}()
+	return s
+}
+
+func (s *server) stamp() int64 {
+	return time.Now().UnixNano() //simlint:allow determinism fixture: wall-clock throttle mirrors the real dashboard server
+}

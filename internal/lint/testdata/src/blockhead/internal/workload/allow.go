@@ -1,0 +1,31 @@
+// Package workload fixtures: the allow meta-rule — the linter lints its own
+// escape hatch. A justified allow silences its finding; a reason-less,
+// unknown-rule, or unused allow is itself a finding.
+package workload
+
+import "time"
+
+// justified names a rule and carries a reason: the wall-clock read below is
+// silenced and the directive counts as used — no finding.
+func justified() int64 {
+	return time.Now().UnixNano() //simlint:allow determinism fixture: justified exemption with a reason
+}
+
+// want +2 `\[allow\] //simlint:allow determinism is missing a reason`
+//
+//simlint:allow determinism
+func unjustified() int64 { return time.Now().UnixNano() }
+
+// want +2 `\[allow\] unknown rule "walltime"`
+//
+//simlint:allow walltime not a real rule
+func unknownRule() int64 {
+	return time.Now().UnixNano() // want `\[determinism\] time\.Now reads the wall clock`
+}
+
+// want +2 `\[allow\] unused //simlint:allow concurrency`
+//
+//simlint:allow concurrency nothing concurrent happens here
+func unused() int {
+	return 1
+}

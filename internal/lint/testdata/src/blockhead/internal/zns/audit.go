@@ -1,0 +1,31 @@
+// Package zns fixtures: the nilguard rule's //simlint:nilsafe marker. Only
+// the marked type is contracted; other types in the package keep their
+// ordinary (non-nil-safe) methods.
+package zns
+
+// Auditor mirrors the real zone state-machine auditor contract.
+//
+//simlint:nilsafe
+type Auditor struct {
+	violations int
+}
+
+// Violations is guarded — compliant.
+func (a *Auditor) Violations() int {
+	if a == nil {
+		return 0
+	}
+	return a.violations
+}
+
+// Flag dereferences the receiver with no guard.
+func (a *Auditor) Flag() { // want `\[nilguard\] exported method \(\*Auditor\)\.Flag`
+	a.violations++
+}
+
+// Device is not marked nilsafe: its methods are not contracted — no finding.
+type Device struct {
+	wp int
+}
+
+func (d *Device) Advance() { d.wp++ }

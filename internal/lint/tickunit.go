@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkTickUnit enforces tick hygiene. Sim quantities are sim.Time ticks
+// (virtual nanoseconds); time.Duration is a wall-clock unit. Mixing the two
+// compiles — Go happily converts between the named int64 types — but a
+// Duration smuggled into tick arithmetic couples the model to wall-clock
+// constants and invites ns/ms unit confusion. Two sub-checks:
+//
+//   - module-wide: no direct conversion between time.Duration and sim.Time
+//     in either direction. Boundary code (flag parsing in cmd/) converts
+//     explicitly through integer nanoseconds: sim.Time(d.Nanoseconds()).
+//   - sim-core: no time.Duration values or declarations at all.
+func checkTickUnit(p *Package, rep *reporter) {
+	core := isSimCore(p.Path)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst := tv.Type
+			src := p.Info.TypeOf(call.Args[0])
+			if src == nil {
+				return true
+			}
+			if isSimTime(dst) && isDuration(src) {
+				rep.findf(call.Pos(), "tickunit",
+					"direct conversion %s from time.Duration; convert explicitly through integer nanoseconds (sim.Time(d.Nanoseconds())) at the boundary", exprString(call))
+			}
+			if isDuration(dst) && isSimTime(src) {
+				rep.findf(call.Pos(), "tickunit",
+					"direct conversion %s from sim.Time ticks to time.Duration; ticks are virtual time, not wall time", exprString(call))
+			}
+			return true
+		})
+		if !core {
+			continue
+		}
+		// Flag the outermost Duration-typed expression (or type expression)
+		// so `5 * time.Millisecond` reports once, not three times.
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if t := p.Info.TypeOf(e); t != nil && isDuration(t) {
+				rep.findf(e.Pos(), "tickunit",
+					"time.Duration in a sim-core package; durations here are sim.Time ticks — keep wall-duration types at the cmd/telemetry boundary")
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/sim") && obj.Name() == "Time"
+}

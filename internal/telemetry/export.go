@@ -35,52 +35,53 @@ type chromeTrace struct {
 // at chrome://tracing or https://ui.perfetto.dev. Writes an empty trace on a
 // nil receiver.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"})
+	}
 	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
-	if t != nil {
-		events := t.Events()
+	events := t.Events()
 
-		// Metadata: name every known process and every track that either was
-		// named explicitly or carries events.
-		pids := make([]int32, 0, len(t.procs))
-		for pid := range t.procs {
-			pids = append(pids, pid)
-		}
-		sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
-		for _, pid := range pids {
-			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-				Name: "process_name", Ph: "M", PID: pid,
-				Args: map[string]interface{}{"name": t.procs[pid]},
-			})
-		}
-		keys := make([]int64, 0, len(t.tracks))
-		for k := range t.tracks {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, k := range keys {
-			pid, tid := int32(k>>32), int32(uint32(k))
-			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
-				Args: map[string]interface{}{"name": t.tracks[k]},
-			})
-		}
+	// Metadata: name every known process and every track that either was
+	// named explicitly or carries events.
+	pids := make([]int32, 0, len(t.procs))
+	for pid := range t.procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]interface{}{"name": t.procs[pid]},
+		})
+	}
+	keys := make([]int64, 0, len(t.tracks))
+	for k := range t.tracks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		pid, tid := int32(k>>32), int32(uint32(k))
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]interface{}{"name": t.tracks[k]},
+		})
+	}
 
-		for _, e := range events {
-			ce := chromeEvent{
-				Name: e.Name, Cat: e.Cat, TS: e.Start.Micros(), PID: e.PID, TID: e.TID,
-			}
-			if e.Instant() {
-				ce.Ph, ce.S = "i", "t"
-			} else {
-				ce.Ph = "X"
-				dur := e.Dur.Micros()
-				ce.Dur = &dur
-			}
-			if e.ArgName != "" {
-				ce.Args = map[string]interface{}{e.ArgName: e.Arg}
-			}
-			trace.TraceEvents = append(trace.TraceEvents, ce)
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name, Cat: e.Cat, TS: e.Start.Micros(), PID: e.PID, TID: e.TID,
 		}
+		if e.Instant() {
+			ce.Ph, ce.S = "i", "t"
+		} else {
+			ce.Ph = "X"
+			dur := e.Dur.Micros()
+			ce.Dur = &dur
+		}
+		if e.ArgName != "" {
+			ce.Args = map[string]interface{}{e.ArgName: e.Arg}
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(trace)
@@ -165,16 +166,10 @@ type PointDump struct {
 // at: every counter and histogram aggregate, every gauge polled one final
 // time, and the sampled series. Returns an empty dump on a nil registry.
 func (r *Registry) Dump(at sim.Time) MetricsDump {
-	d := MetricsDump{
-		AtMillis:   at.Millis(),
-		Counters:   map[string]uint64{},
-		Gauges:     map[string]float64{},
-		Histograms: map[string]HistDump{},
-		Series:     []SeriesDump{},
-	}
 	if r == nil {
-		return d
+		return emptyMetricsDump(at)
 	}
+	d := emptyMetricsDump(at)
 	for _, n := range r.counterNames() {
 		d.Counters[n] = r.counters[n].Value()
 	}
@@ -202,9 +197,28 @@ func (r *Registry) Dump(at sim.Time) MetricsDump {
 	return d
 }
 
+// emptyMetricsDump is the dump skeleton: what a nil registry exports, and
+// what Dump fills in.
+func emptyMetricsDump(at sim.Time) MetricsDump {
+	return MetricsDump{
+		AtMillis:   at.Millis(),
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistDump{},
+		Series:     []SeriesDump{},
+	}
+}
+
 // WriteJSON writes the metrics dump as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer, at sim.Time) error {
+	if r == nil {
+		return writeIndentedJSON(w, emptyMetricsDump(at))
+	}
+	return writeIndentedJSON(w, r.Dump(at))
+}
+
+func writeIndentedJSON(w io.Writer, v interface{}) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Dump(at))
+	return enc.Encode(v)
 }

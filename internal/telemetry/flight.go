@@ -173,10 +173,10 @@ func (f *Flight) Violations() uint64 {
 
 // Events returns the recorded events, oldest first. Nil-safe (empty slice).
 func (f *Flight) Events() []FlightEvent {
-	out := make([]FlightEvent, 0, f.Len())
 	if f == nil {
-		return out
+		return []FlightEvent{}
 	}
+	out := make([]FlightEvent, 0, f.Len())
 	if f.total >= uint64(len(f.ring)) {
 		out = append(out, f.ring[f.next:]...)
 	}
@@ -186,6 +186,10 @@ func (f *Flight) Events() []FlightEvent {
 
 // WriteText writes a human-readable dump, oldest event first.
 func (f *Flight) WriteText(w io.Writer) error {
+	if f == nil {
+		_, err := fmt.Fprintf(w, "flight recorder: 0 events (0 recorded, 0 dropped, 0 violations)\n")
+		return err
+	}
 	events := f.Events()
 	if _, err := fmt.Fprintf(w, "flight recorder: %d events (%d recorded, %d dropped, %d violations)\n",
 		len(events), f.Total(), f.Dropped(), f.Violations()); err != nil {
@@ -220,6 +224,9 @@ type FlightEventDump struct {
 // Dump converts the recorder's contents to their JSON shape. Safe on a nil
 // recorder (empty dump).
 func (f *Flight) Dump() FlightDump {
+	if f == nil {
+		return FlightDump{Events: []FlightEventDump{}}
+	}
 	events := f.Events()
 	d := FlightDump{
 		Total:      f.Total(),

@@ -40,10 +40,10 @@ func (h *HeatSet) Register(name string, fn HeatFunc) {
 // Dump snapshots every registered source, in registration order. Safe on a
 // nil set (empty dump).
 func (h *HeatSet) Dump(at sim.Time) HeatmapDump {
-	d := HeatmapDump{AtMillis: at.Millis(), Devices: []DeviceHeat{}}
 	if h == nil {
-		return d
+		return HeatmapDump{AtMillis: at.Millis(), Devices: []DeviceHeat{}}
 	}
+	d := HeatmapDump{AtMillis: at.Millis(), Devices: []DeviceHeat{}}
 	for _, name := range h.names {
 		dh := h.fns[name](at)
 		dh.Name = name

@@ -147,7 +147,7 @@ func (s *Server) MaybePublish(at sim.Time) {
 		return
 	}
 	s.mu.Lock()
-	due := time.Since(s.lastPub) >= s.interval
+	due := time.Since(s.lastPub) >= s.interval //simlint:allow determinism live-dashboard publish throttle is real wall-clock pacing; it never feeds simulation results
 	s.mu.Unlock()
 	if due {
 		s.Publish(at)
@@ -195,7 +195,7 @@ func (s *Server) Publish(at sim.Time) {
 	}
 	s.metrics, s.attr, s.sample = metrics, attr, sample
 	s.heat, s.flight = heat, flight
-	s.lastPub = time.Now()
+	s.lastPub = time.Now() //simlint:allow determinism wall-clock bookkeeping for the publish throttle; it never feeds simulation results
 	s.mu.Unlock()
 
 	s.subMu.Lock()
