@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns update-golden clean
+.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign update-golden clean
 
 all: check
 
-check: vet build lint test bench-telemetry
+check: vet build lint test bench-telemetry fault-campaign
 
 vet:
 	$(GO) vet ./...
@@ -33,7 +33,7 @@ test:
 # and the flight recorder) is a nil no-op — 0 allocs/op. A regression here
 # slows every simulation.
 bench-telemetry:
-	$(GO) test -run='^$$' -bench=ProbeDisabled -benchmem ./internal/telemetry/ ./internal/zns/
+	$(GO) test -run='^$$' -bench=ProbeDisabled -benchmem ./internal/telemetry/ ./internal/zns/ ./internal/fault/
 
 # Regenerate the pinned JSON schemas served by /metrics.json and
 # /attribution.json after a deliberate schema change.
@@ -51,6 +51,15 @@ bench:
 bench-compare:
 	$(GO) run ./cmd/znsbench -run E4,E6 -bench-json /tmp/blockhead-bench-new.json > /dev/null
 	$(GO) run ./cmd/benchdiff -threshold 0.25 BENCH_attribution.json /tmp/blockhead-bench-new.json
+	$(GO) run ./cmd/benchdiff -threshold 0.001 BENCH_attribution.json BENCH_faults.json
+
+# The fault campaign's acceptance bar (docs/faults.md): the same seed and
+# profile reproduce the E13 report bit-for-bit — NAND faults, the power
+# loss, and both stacks' recoveries included.
+fault-campaign:
+	$(GO) run ./cmd/znsbench -quick -faults default -run E13 > /tmp/blockhead-e13-a.txt
+	$(GO) run ./cmd/znsbench -quick -faults default -run E13 > /tmp/blockhead-e13-b.txt
+	cmp /tmp/blockhead-e13-a.txt /tmp/blockhead-e13-b.txt
 
 # Short fuzz pass over the trace decoder.
 fuzz:
@@ -59,6 +68,12 @@ fuzz:
 # Short fuzz pass over the ZNS zone state machine (auditor attached).
 fuzz-zns:
 	$(GO) test -run='^$$' -fuzz=FuzzZoneStateMachine -fuzztime=30s ./internal/zns/
+
+# Short fuzz pass over the differential fault harness: random
+# (seed, profile, crash point) schedules against the integrity oracle and
+# the zone state-machine auditor, both stacks.
+fuzz-faults:
+	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/core/
 
 clean:
 	$(GO) clean ./...

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"blockhead/internal/core"
+	"blockhead/internal/fault"
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
 	"blockhead/internal/telemetry/httpserve"
@@ -61,6 +62,7 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 		serve       = flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8077)")
 		benchJSON   = flag.String("bench-json", "", "write machine-readable benchmark results (BENCH_*.json schema) to this file")
+		faults      = flag.String("faults", "", "fault profile for the fault-campaign experiment (E13); implies running E13")
 	)
 	flag.Parse()
 
@@ -85,7 +87,14 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := core.Config{Quick: *quick, Seed: *seed}
+	cfg := core.Config{Quick: *quick, Seed: *seed, FaultProfile: *faults}
+	if *faults != "" {
+		if _, ok := fault.ProfileByName(*faults); !ok {
+			fmt.Fprintf(os.Stderr, "znsbench: unknown fault profile %q (valid: %s)\n",
+				*faults, strings.Join(fault.ProfileNames(), ", "))
+			os.Exit(2)
+		}
+	}
 	if *metricsOut != "" || *traceOut != "" || *traceText != "" || *serve != "" {
 		cfg.Probe = telemetry.NewProbe(telemetry.Options{
 			SampleEvery: sim.Time((*sampleEvery).Nanoseconds()),
@@ -115,6 +124,18 @@ func main() {
 				os.Exit(2)
 			}
 			selected = append(selected, e)
+		}
+		if *faults != "" {
+			// -faults exists to drive the fault campaign: make sure it runs
+			// even when the -run list predates E13.
+			hasE13 := false
+			for _, e := range selected {
+				hasE13 = hasE13 || e.ID == "E13"
+			}
+			if !hasE13 {
+				e, _ := core.ByID("E13")
+				selected = append(selected, e)
+			}
 		}
 	}
 	var bench []core.BenchEntry

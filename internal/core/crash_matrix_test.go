@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"blockhead/internal/fault"
+)
+
+// TestCrashRecoveryMatrix sweeps the power-loss point across a 10k-op mixed
+// workload — every event index congruent to the stride — for both stacks
+// under the default fault profile. At each point the stack crashes
+// mid-program, recovers, and the oracle differentially verifies that every
+// logical page recovered to its durable winner (or a legal in-flight
+// outcome), then the run resumes to the end and is verified live. The zone
+// state machine is audited across every crash.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 42}
+	prof, _ := fault.ProfileByName("default")
+	const (
+		total  = 10000
+		stride = 1999 // prime, so crash points drift across GC/reclaim phase
+	)
+	for _, sb := range faultStackBuilders {
+		sb := sb
+		t.Run(sb.name, func(t *testing.T) {
+			for crashIdx := int64(stride); crashIdx < total; crashIdx += stride {
+				s, err := sb.build(cfg, prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oc, err := runFaultSchedule(s, cfg.Seed, total, crashIdx)
+				if err != nil {
+					t.Fatalf("crash@%d: %v", crashIdx, err)
+				}
+				if v := oc.Violations(); v != 0 {
+					t.Fatalf("crash@%d: %d integrity violations:\n%v",
+						crashIdx, v, oc.Details())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"blockhead/internal/fault"
+)
+
+// FuzzFaultSchedule fuzzes the (seed, fault profile, crash point) space of
+// the differential harness: whatever the schedule, both stacks must recover
+// from the crash with zero oracle violations and a clean zone state-machine
+// audit. The seed corpus pins the hand-picked regressions: the faults-off
+// control, a crash during the first fill, a crash in GC-heavy steady state,
+// a late crash under the aggressive profile, and the wear-driven profile
+// that grows bad blocks mid-run.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(int64(42), uint8(0), uint16(100))   // faults off, early crash
+	f.Add(int64(42), uint8(1), uint16(700))   // default faults, mid-fill crash
+	f.Add(int64(7), uint8(1), uint16(1400))   // default faults, steady-state crash
+	f.Add(int64(1234), uint8(2), uint16(900)) // aggressive faults
+	f.Add(int64(99), uint8(3), uint16(1300))  // wearout profile
+	f.Add(int64(3), uint8(2), uint16(0))      // crash on the very first op
+
+	profiles := fault.Profiles()
+	cfg := Config{Quick: true, Seed: 42}
+	f.Fuzz(func(t *testing.T, seed int64, profIdx uint8, crashAt uint16) {
+		prof := profiles[int(profIdx)%len(profiles)]
+		const total = 1500
+		crashIdx := int64(crashAt) % total
+		for _, sb := range faultStackBuilders {
+			s, err := sb.build(cfg, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oc, err := runFaultSchedule(s, seed, total, crashIdx)
+			if err != nil {
+				t.Fatalf("%s/%s seed=%d crash@%d: %v", sb.name, prof.Name, seed, crashIdx, err)
+			}
+			if v := oc.Violations(); v != 0 {
+				t.Fatalf("%s/%s seed=%d crash@%d: %d violations:\n%v",
+					sb.name, prof.Name, seed, crashIdx, v, oc.Details())
+			}
+		}
+	})
+}

@@ -30,6 +30,10 @@ type Config struct {
 	// caller exports its metrics and trace after the run. A nil probe is
 	// the zero-overhead default.
 	Probe *telemetry.Probe
+	// FaultProfile names the fault.Profile driven by the experiments that
+	// model NAND failures and power loss (E13). Empty selects each
+	// experiment's own default; "none" disables injection entirely.
+	FaultProfile string
 }
 
 // DefaultConfig is the standard full-size run.

@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"testing"
+)
+
+// TestNilInjectorZeroAllocs pins the disabled path: devices query the
+// injector on every read/program/erase, so the nil no-op must never allocate.
+func TestNilInjectorZeroAllocs(t *testing.T) {
+	var inj *Injector
+	if allocs := testing.AllocsPerRun(1000, func() {
+		inj.ReadFaults(0.5)
+		inj.ProgramFails(0.5)
+		inj.EraseFails(0.5)
+		_ = inj.Counts()
+	}); allocs != 0 {
+		t.Fatalf("nil injector allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestLiveInjectorZeroAllocs pins the enabled path too: fault draws happen
+// on every flash operation, so even live injection must stay allocation-free.
+func TestLiveInjectorZeroAllocs(t *testing.T) {
+	prof, _ := ProfileByName("aggressive")
+	inj := New(prof, 42)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		inj.ReadFaults(0.5)
+		inj.ProgramFails(0.5)
+		inj.EraseFails(0.5)
+	}); allocs != 0 {
+		t.Fatalf("live injector allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkReadFaults measures the per-read fault draw under the default
+// profile (one Float64 per sense).
+func BenchmarkReadFaults(b *testing.B) {
+	prof, _ := ProfileByName("default")
+	inj := New(prof, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inj.ReadFaults(0.3)
+	}
+}
+
+// BenchmarkProbeDisabledFaultDraw measures the disabled path devices pay
+// when no fault campaign is armed (named to ride `make bench-telemetry`'s
+// ProbeDisabled filter alongside the other nil-instrument pins).
+func BenchmarkProbeDisabledFaultDraw(b *testing.B) {
+	var inj *Injector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inj.ReadFaults(0.3)
+	}
+}

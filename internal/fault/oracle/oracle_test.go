@@ -1,0 +1,202 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"blockhead/internal/flash"
+)
+
+var errRead = errors.New("read failed")
+
+// TestLiveChecks covers the no-crash contract: a live read must return
+// exactly the newest acknowledged version; anything else is a violation.
+func TestLiveChecks(t *testing.T) {
+	o := New(4)
+	o.RecordWrite(0, 10, 20) // seq 1
+	o.RecordWrite(0, 30, 40) // seq 2
+	o.RecordWrite(1, 50, 60) // seq 3
+
+	if !o.CheckLive(0, 0, 2, nil) {
+		t.Fatal("newest version rejected")
+	}
+	if o.CheckLive(0, 0, 1, nil) {
+		t.Fatal("stale version accepted live")
+	}
+	if o.CheckLive(1, 0, 3, nil) {
+		t.Fatal("cross-mapped lpn accepted")
+	}
+	if o.CheckLive(2, 2, 9, nil) {
+		t.Fatal("data fabricated for never-written lpn accepted")
+	}
+	if !o.CheckLive(2, 0, 0, errRead) {
+		t.Fatal("read error on never-written lpn must be acceptable")
+	}
+	if o.CheckLive(1, 0, 0, errRead) {
+		t.Fatal("read error on live lpn accepted")
+	}
+	if got := o.Violations(); got != 4 {
+		t.Fatalf("Violations() = %d, want 4 (details: %v)", got, o.Details())
+	}
+}
+
+// TestUncorrectableIsDetectedLoss: ECC-exhausted reads are honest failures,
+// counted separately, never violations.
+func TestUncorrectableIsDetectedLoss(t *testing.T) {
+	o := New(1)
+	o.RecordWrite(0, 0, 5)
+	if !o.CheckLive(0, 0, 0, flash.ErrUncorrectable) {
+		t.Fatal("uncorrectable read treated as violation")
+	}
+	o.Crash(10)
+	if !o.CheckRecovered(0, 0, 0, flash.ErrUncorrectable) {
+		t.Fatal("uncorrectable recovery read treated as violation")
+	}
+	if o.Violations() != 0 || o.LostReads() != 2 {
+		t.Fatalf("violations=%d lostReads=%d, want 0 and 2", o.Violations(), o.LostReads())
+	}
+}
+
+// TestTrim: a trimmed page must read as dead live, but durable copies may
+// legally resurrect across a crash (trims are host-DRAM metadata).
+func TestTrim(t *testing.T) {
+	o := New(1)
+	o.RecordWrite(0, 0, 5) // seq 1
+	o.RecordTrim(0)
+	if o.CheckLive(0, 0, 1, nil) {
+		t.Fatal("trimmed page returning data must be a violation")
+	}
+	o = New(1)
+	o.RecordWrite(0, 0, 5) // seq 1
+	o.RecordTrim(0)
+	o.Crash(10)
+	if !o.CheckRecovered(0, 0, 1, nil) {
+		t.Fatal("durable copy of a trimmed page resurrecting after crash must be legal")
+	}
+	if !o.CheckLive(0, 0, 1, nil) {
+		t.Fatal("after resurrection the copy is live again")
+	}
+}
+
+// TestCrashDurableWinner: a page with no write in flight at the crash must
+// recover to exactly its durable winner — older versions and losses are
+// violations.
+func TestCrashDurableWinner(t *testing.T) {
+	o := New(3)
+	o.RecordWrite(0, 0, 10)  // seq 1
+	o.RecordWrite(0, 20, 30) // seq 2, durable
+	o.RecordWrite(1, 40, 50) // seq 3, durable
+	o.Crash(100)
+
+	if o.CheckRecovered(0, 0, 1, nil) {
+		t.Fatal("stale resurrection accepted for settled page")
+	}
+	o = New(3)
+	o.RecordWrite(0, 0, 10)
+	o.RecordWrite(0, 20, 30)
+	o.Crash(100)
+	if o.CheckRecovered(0, 0, 0, errRead) {
+		t.Fatal("loss of a settled durable page accepted")
+	}
+	o = New(3)
+	o.RecordWrite(0, 0, 10)
+	o.RecordWrite(0, 20, 30)
+	o.Crash(100)
+	if !o.CheckRecovered(0, 0, 2, nil) {
+		t.Fatal("durable winner rejected")
+	}
+	if !o.CheckRecovered(1, 0, 0, errRead) {
+		t.Fatal("nothing-durable page recovering to nothing rejected")
+	}
+	if o.CheckRecovered(2, 2, 7, nil) {
+		t.Fatal("fabricated recovery accepted")
+	}
+}
+
+// TestCrashInFlight: a page whose write was still in flight at the crash may
+// recover to the in-flight version (its program raced the failure and won),
+// any durable predecessor, or nothing — but never to a version that was
+// never acknowledged.
+func TestCrashInFlight(t *testing.T) {
+	build := func() *Oracle {
+		o := New(1)
+		o.RecordWrite(0, 0, 10)   // seq 1, durable
+		o.RecordWrite(0, 90, 110) // seq 2, in flight at t=100
+		o.Crash(100)
+		return o
+	}
+	if !build().CheckRecovered(0, 0, 2, nil) {
+		t.Fatal("in-flight write that reached the media rejected")
+	}
+	if !build().CheckRecovered(0, 0, 1, nil) {
+		t.Fatal("durable predecessor rejected for in-flight page")
+	}
+	if !build().CheckRecovered(0, 0, 0, errRead) {
+		t.Fatal("total loss rejected for in-flight page (GC may have erased the winner)")
+	}
+	if build().CheckRecovered(0, 0, 9, nil) {
+		t.Fatal("never-acknowledged version accepted")
+	}
+}
+
+// TestCollapseAndResync: CheckRecovered collapses each page's history to the
+// observed survivor, so live checking resumes exactly; Resync aligns the
+// sequence counter with the stack's post-scan value.
+func TestCollapseAndResync(t *testing.T) {
+	o := New(1)
+	o.RecordWrite(0, 0, 10)   // seq 1
+	o.RecordWrite(0, 90, 110) // seq 2, in flight at crash
+	o.Crash(100)
+	if !o.CheckRecovered(0, 0, 1, nil) {
+		t.Fatal("recovery to durable predecessor rejected")
+	}
+	o.Resync(2) // stack rescanned: max seq 1 observed, next is 2
+	if !o.CheckLive(0, 0, 1, nil) {
+		t.Fatal("live check after collapse rejected the survivor")
+	}
+	o.RecordWrite(0, 200, 210) // must get seq 2
+	if !o.CheckLive(0, 0, 2, nil) {
+		t.Fatal("post-resync write did not take the stack's next seq")
+	}
+	if o.Violations() != 0 {
+		t.Fatalf("unexpected violations: %v", o.Details())
+	}
+}
+
+// TestNilOracle: the nil *Oracle no-ops on every method so harnesses thread
+// it unconditionally, and the no-op path never allocates.
+func TestNilOracle(t *testing.T) {
+	var o *Oracle
+	o.RecordWrite(0, 0, 1)
+	o.RecordTrim(0)
+	o.Crash(5)
+	o.Resync(9)
+	if !o.CheckLive(0, 0, 0, nil) || !o.CheckRecovered(0, 0, 0, nil) {
+		t.Fatal("nil oracle rejected a check")
+	}
+	if o.Violations() != 0 || o.LostReads() != 0 || o.Details() != nil {
+		t.Fatal("nil oracle reported state")
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		o.RecordWrite(0, 0, 1)
+		o.CheckLive(0, 0, 0, nil)
+		_ = o.Violations()
+	}); allocs != 0 {
+		t.Fatalf("nil oracle allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestDetailsCapped: violation detail retention is bounded; the count keeps
+// going.
+func TestDetailsCapped(t *testing.T) {
+	o := New(1)
+	for k := 0; k < maxDetails+10; k++ {
+		o.CheckLive(0, 0, 1, nil) // never written: every data return violates
+	}
+	if got := len(o.Details()); got != maxDetails {
+		t.Fatalf("details length = %d, want capped at %d", got, maxDetails)
+	}
+	if got := o.Violations(); got != uint64(maxDetails+10) {
+		t.Fatalf("Violations() = %d, want %d", got, maxDetails+10)
+	}
+}

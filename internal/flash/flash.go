@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"blockhead/internal/fault"
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
 )
@@ -154,9 +155,12 @@ func (g Geometry) ChannelOfBlock(block int) int {
 }
 
 // Errors returned by Device operations. Device layers above flash are
-// expected to treat all of them as programming errors except ErrWornOut,
-// which models end-of-endurance cell failure (§2.1) and must be handled by
-// retiring the block (conventional) or shrinking/offlining the zone (ZNS).
+// expected to treat all of them as programming errors except the media
+// failures — ErrWornOut (end-of-endurance cell failure, §2.1),
+// ErrUncorrectable (a read that exhausted the retry ladder),
+// ErrProgramFailed, and ErrEraseFailed (injected hard failures that grow
+// the bad-block set) — which must be handled by retiring the block
+// (conventional) or transitioning the zone (ZNS).
 var (
 	ErrOutOfRange    = errors.New("flash: address out of range")
 	ErrNotSequential = errors.New("flash: pages within an erasure block must be programmed sequentially")
@@ -164,6 +168,9 @@ var (
 	ErrUnwritten     = errors.New("flash: read of unwritten page")
 	ErrWornOut       = errors.New("flash: block exceeded erase endurance")
 	ErrBadBlock      = errors.New("flash: block is marked bad")
+	ErrUncorrectable = errors.New("flash: read uncorrectable after retry ladder")
+	ErrProgramFailed = errors.New("flash: page program failed; block retired")
+	ErrEraseFailed   = errors.New("flash: block erase failed; block retired")
 )
 
 // OpCounts tracks physical operations executed by the device.
@@ -177,6 +184,7 @@ type blockState struct {
 	nextPage   int32 // next programmable page; == PagesPerBlock when full
 	eraseCount uint32
 	bad        bool
+	sealed     bool // closed to further programs until erased (torn frontier)
 }
 
 // Device is a timed NAND flash array.
@@ -193,6 +201,17 @@ type Device struct {
 	chans  []sim.Resource
 	blocks []blockState
 	counts OpCounts
+
+	// Fault injection (nil = perfect media) and crash/recovery support.
+	// The OOB arrays model the out-of-band area real NAND pages carry
+	// (logical address + sequence stamp) and exist only when recovery is
+	// armed, as does the per-page program-completion clock CrashAt uses to
+	// find the durable prefix.
+	inj      *fault.Injector
+	recovery bool
+	oobLPN   []int64
+	oobSeq   []uint64
+	progDone []sim.Time
 
 	// Accumulated busy time per LUN and per channel; the utilization gauges
 	// divide these by the current virtual time.
@@ -285,6 +304,81 @@ func (d *Device) IsBad(block int) bool { return d.blocks[block].bad }
 // WrittenPages reports how many pages of the block are programmed.
 func (d *Device) WrittenPages(block int) int { return int(d.blocks[block].nextPage) }
 
+// SetInjector attaches a fault injector; nil restores perfect media.
+func (d *Device) SetInjector(inj *fault.Injector) { d.inj = inj }
+
+// Injector returns the attached fault injector (possibly nil).
+func (d *Device) Injector() *fault.Injector { return d.inj }
+
+// refEndurance normalizes wear for the fault model when Endurance is
+// unlimited: hard-failure probability still has to grow as blocks age, so an
+// uncapped device wears against a representative TLC budget.
+const refEndurance = 3000
+
+func (d *Device) wearFrac(b *blockState) float64 {
+	end := d.Endurance
+	if end == 0 {
+		end = refEndurance
+	}
+	return float64(b.eraseCount) / float64(end)
+}
+
+// EnableRecovery arms crash/recovery support: per-page out-of-band stamps
+// (StampOOB/OOB) and the program-completion clock CrashAt needs. Costs
+// O(total pages) memory, so it is opt-in per campaign rather than always-on.
+func (d *Device) EnableRecovery() {
+	if d.recovery {
+		return
+	}
+	d.recovery = true
+	n := d.Geom.TotalPages()
+	d.oobLPN = make([]int64, n)
+	for i := range d.oobLPN {
+		d.oobLPN[i] = -1
+	}
+	d.oobSeq = make([]uint64, n)
+	d.progDone = make([]sim.Time, n)
+}
+
+// RecoveryEnabled reports whether EnableRecovery was called.
+func (d *Device) RecoveryEnabled() bool { return d.recovery }
+
+func (d *Device) pageIndex(block, page int) int64 {
+	return int64(block)*int64(d.Geom.PagesPerBlock) + int64(page)
+}
+
+// StampOOB records a page's out-of-band metadata — the logical page it holds
+// and a monotone write sequence number — the way a real FTL journals its
+// mapping into each page's spare area. No-op unless recovery is armed.
+func (d *Device) StampOOB(block, page int, lpn int64, seq uint64) {
+	if !d.recovery {
+		return
+	}
+	i := d.pageIndex(block, page)
+	d.oobLPN[i] = lpn
+	d.oobSeq[i] = seq
+}
+
+// OOB returns a page's out-of-band stamp; (-1, 0) when never stamped or
+// recovery is not armed. Reading OOB carries no timing — recovery scans pay
+// for it with the ReadPage that fetches the page.
+func (d *Device) OOB(block, page int) (lpn int64, seq uint64) {
+	if !d.recovery {
+		return -1, 0
+	}
+	i := d.pageIndex(block, page)
+	return d.oobLPN[i], d.oobSeq[i]
+}
+
+// SealBlock closes a partially-written block to further programs until it is
+// erased. Recovery seals torn write frontiers: the cells past the durable
+// prefix are in an indeterminate state, so the safe policy is to treat the
+// block as full, let GC drain it, and reclaim it with an erase.
+func (d *Device) SealBlock(block int) { d.blocks[block].sealed = true }
+
+// IsSealed reports whether a block was sealed (reads stay legal).
+func (d *Device) IsSealed(block int) bool { return d.blocks[block].sealed }
+
 func (d *Device) checkAddr(block, page int) error {
 	if block < 0 || block >= len(d.blocks) || page < 0 || page >= d.Geom.PagesPerBlock {
 		return ErrOutOfRange
@@ -292,32 +386,44 @@ func (d *Device) checkAddr(block, page int) error {
 	return nil
 }
 
-// ReadPage reads one page. The LUN senses the cells, then the channel bus
-// transfers the page out. Reading a page that was never programmed since
-// the last erase returns ErrUnwritten.
+// ReadPage reads one page. The LUN senses the cells — possibly several
+// times, if the fault injector makes senses fail transiently and the retry
+// ladder re-reads with tuned thresholds — then the channel bus transfers the
+// page out. Reading a page that was never programmed since the last erase
+// returns ErrUnwritten; exhausting the retry ladder returns ErrUncorrectable
+// with the sense time spent but nothing transferred. Grown-bad blocks refuse
+// programs and erases but stay readable: pages programmed before the block
+// was retired still hold data the layer above must be able to migrate off.
 func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 	if err := d.checkAddr(block, page); err != nil {
 		return at, err
 	}
 	b := &d.blocks[block]
-	if b.bad {
-		return at, ErrBadBlock
-	}
 	if int32(page) >= b.nextPage {
 		return at, ErrUnwritten
 	}
+	retries, uncorrectable := d.inj.ReadFaults(d.wearFrac(b))
+	sense := sim.Time(1+retries) * d.Lat.ReadPage
 	lun := d.Geom.LUNOfBlock(block)
 	ch := d.Geom.ChannelOfLUN(lun)
-	senseStart, senseEnd := d.luns[lun].Acquire(at, d.Lat.ReadPage)
-	xferStart, done := d.chans[ch].Acquire(senseEnd, d.Lat.XferPage)
-	d.lunBusy[lun] += d.Lat.ReadPage
-	d.chanBusy[ch] += d.Lat.XferPage
+	senseStart, senseEnd := d.luns[lun].Acquire(at, sense)
+	d.lunBusy[lun] += sense
 	d.counts.Reads++
 	d.mReads.Inc()
-	// Attribution: [at..senseStart) LUN queue, sense, [senseEnd..xferStart)
-	// bus queue, transfer — contiguous intervals covering at..done exactly.
+	if uncorrectable {
+		// Error paths charge no attribution; the caller abandons or
+		// re-places the op and accounts for the gap itself.
+		d.fl.Record(at, telemetry.FlightFault, int32(block), "read_uncorrectable", int64(page))
+		d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "read", senseStart, senseEnd, "block", int64(block))
+		return senseEnd, ErrUncorrectable
+	}
+	xferStart, done := d.chans[ch].Acquire(senseEnd, d.Lat.XferPage)
+	d.chanBusy[ch] += d.Lat.XferPage
+	// Attribution: [at..senseStart) LUN queue, sense (incl. retries),
+	// [senseEnd..xferStart) bus queue, transfer — contiguous intervals
+	// covering at..done exactly.
 	d.attr.Charge(telemetry.PhaseLUNWait, senseStart-at)
-	d.attr.Charge(telemetry.PhaseNANDRead, d.Lat.ReadPage)
+	d.attr.Charge(telemetry.PhaseNANDRead, sense)
 	d.attr.Charge(telemetry.PhaseChanWait, xferStart-senseEnd)
 	d.attr.Charge(telemetry.PhaseXfer, d.Lat.XferPage)
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "read", senseStart, senseEnd, "block", int64(block))
@@ -337,6 +443,9 @@ func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
 	if b.bad {
 		return at, ErrBadBlock
 	}
+	if b.sealed {
+		return at, ErrNotErased
+	}
 	if b.nextPage >= int32(d.Geom.PagesPerBlock) {
 		return at, ErrNotErased
 	}
@@ -349,9 +458,23 @@ func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
 	progStart, done := d.luns[lun].Acquire(xferEnd, d.Lat.ProgramPage)
 	d.chanBusy[ch] += d.Lat.XferPage
 	d.lunBusy[lun] += d.Lat.ProgramPage
-	b.nextPage++
 	d.counts.Programs++
 	d.mProgs.Inc()
+	if d.inj.ProgramFails(d.wearFrac(b)) {
+		// The program consumed bus and cell time, then reported failure.
+		// The block is retired with its already-programmed pages intact
+		// and readable; the failed page's cells are untrusted, so nextPage
+		// does not advance and the block refuses further programs.
+		b.bad = true
+		d.fl.Record(at, telemetry.FlightFault, int32(block), "program_failed", int64(page))
+		d.tr.Span(telemetry.ProcFlashChan, int32(ch), "flash", "xfer_in", xferStart, xferEnd)
+		d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "program", progStart, done, "block", int64(block))
+		return done, ErrProgramFailed
+	}
+	b.nextPage++
+	if d.recovery {
+		d.progDone[d.pageIndex(block, page)] = done
+	}
 	d.attr.Charge(telemetry.PhaseChanWait, xferStart-at)
 	d.attr.Charge(telemetry.PhaseXfer, d.Lat.XferPage)
 	d.attr.Charge(telemetry.PhaseLUNWait, progStart-xferEnd)
@@ -380,10 +503,22 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 	lun := d.Geom.LUNOfBlock(block)
 	eraseStart, done := d.luns[lun].Acquire(at, d.Lat.EraseBlock)
 	d.lunBusy[lun] += d.Lat.EraseBlock
-	b.eraseCount++
-	b.nextPage = 0
 	d.counts.Erases++
 	d.mErase.Inc()
+	if d.inj.EraseFails(d.wearFrac(b)) {
+		// The erase ran and failed: the cells are indeterminate, so the
+		// block is retired with nothing readable. Callers only erase
+		// blocks holding no valid data, so no mapping is lost.
+		b.bad = true
+		b.nextPage = 0
+		b.sealed = false
+		d.fl.Record(at, telemetry.FlightFault, int32(block), "erase_failed", int64(b.eraseCount))
+		d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "erase", eraseStart, done, "block", int64(block))
+		return done, ErrEraseFailed
+	}
+	b.eraseCount++
+	b.nextPage = 0
+	b.sealed = false
 	d.attr.Charge(telemetry.PhaseLUNWait, eraseStart-at)
 	d.attr.Charge(telemetry.PhaseNANDErase, d.Lat.EraseBlock)
 	d.fl.Record(at, telemetry.FlightErase, int32(block), "", int64(b.eraseCount))
@@ -401,7 +536,74 @@ func (d *Device) CopyPage(at sim.Time, srcBlock, srcPage, dstBlock, dstPage int)
 	if err != nil {
 		return at, err
 	}
-	return d.ProgramPage(readDone, dstBlock, dstPage)
+	done, err := d.ProgramPage(readDone, dstBlock, dstPage)
+	if err != nil {
+		return done, err
+	}
+	if d.recovery {
+		// A device-internal copy moves the page's spare area with it, so
+		// the destination inherits the source's OOB stamp.
+		src := d.pageIndex(srcBlock, srcPage)
+		d.StampOOB(dstBlock, dstPage, d.oobLPN[src], d.oobSeq[src])
+	}
+	return done, nil
+}
+
+// CrashStats summarizes a power-loss event: what truncating to the durable
+// prefix cost, and which blocks need attention before reuse.
+type CrashStats struct {
+	At        sim.Time
+	LostPages int64 // in-flight programs undone (completion after the cut)
+	Torn      []int // blocks truncated to zero written pages; indeterminate cells, re-erase before reuse
+}
+
+// CrashAt models power loss at time t. Device state is truncated to what was
+// durable then: a programmed page survives iff its program completed at or
+// before t — within one block completions are monotone in page order (same
+// LUN, sequential issue), so the survivors are a clean prefix — while an
+// erase is durable at issue. In-flight LUN and channel reservations are
+// abandoned. The volatile layers above (mapping tables, zone states) are the
+// stacks' problem; their Recover methods rebuild from what this leaves.
+// Requires EnableRecovery (the per-page completion clock).
+func (d *Device) CrashAt(t sim.Time) CrashStats {
+	if !d.recovery {
+		panic("flash: CrashAt requires EnableRecovery")
+	}
+	st := CrashStats{At: t}
+	for blk := range d.blocks {
+		b := &d.blocks[blk]
+		if b.nextPage == 0 {
+			continue
+		}
+		base := int64(blk) * int64(d.Geom.PagesPerBlock)
+		durable := int(b.nextPage)
+		for durable > 0 && d.progDone[base+int64(durable-1)] > t {
+			durable--
+		}
+		lost := int(b.nextPage) - durable
+		if lost == 0 {
+			continue
+		}
+		st.LostPages += int64(lost)
+		for p := durable; p < int(b.nextPage); p++ {
+			i := base + int64(p)
+			d.progDone[i] = 0
+			d.oobLPN[i] = -1
+			d.oobSeq[i] = 0
+		}
+		b.nextPage = int32(durable)
+		if durable == 0 {
+			st.Torn = append(st.Torn, blk)
+		}
+	}
+	for i := range d.luns {
+		d.luns[i].Interrupt(t)
+	}
+	for i := range d.chans {
+		d.chans[i].Interrupt(t)
+	}
+	d.fl.Record(t, telemetry.FlightCrash, -1, "power_loss", st.LostPages)
+	return st
 }
 
 // LUNFreeAt reports when the LUN owning block becomes idle; device layers

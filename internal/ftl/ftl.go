@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"blockhead/internal/fault"
 	"blockhead/internal/flash"
 	"blockhead/internal/sim"
 	"blockhead/internal/stats"
@@ -128,6 +129,15 @@ type Config struct {
 	// Endurance is the per-block erase budget passed to the flash layer;
 	// 0 = unlimited.
 	Endurance uint32
+
+	// Recovery arms crash/recovery support: every host write stamps the
+	// physical page's out-of-band area with (lpn, seq), and Recover can
+	// rebuild the mapping table after flash.Device.CrashAt by scanning those
+	// stamps. Costs O(total pages) memory in the flash layer, so fault
+	// campaigns opt in per run. Payloads kept by StoreData do not survive
+	// Recover (only the OOB metadata is journaled); integrity checking under
+	// crashes goes through ReadMeta and the fault oracle instead.
+	Recovery bool
 }
 
 // Errors returned by the device.
@@ -172,6 +182,15 @@ type Device struct {
 	// Incremental GC cursor (GCDeviceIncremental only).
 	gcVictim int
 	gcCursor int64
+	// gcRelocDone is the completion high-water mark of incremental
+	// relocation copies — the crash-consistency barrier for the victim's
+	// erase when Recovery is armed.
+	gcRelocDone sim.Time
+
+	// nextSeq is the monotone write sequence stamped into each programmed
+	// page's OOB area when Config.Recovery is armed; the recovery scan's
+	// newest-wins rule depends on it.
+	nextSeq uint64
 
 	counters stats.Counters
 	gcRuns   uint64
@@ -281,6 +300,10 @@ func New(cfg Config) (*Device, error) {
 	if cfg.StoreData {
 		d.data = make(map[int64][]byte)
 	}
+	if cfg.Recovery {
+		chip.EnableRecovery()
+		d.nextSeq = 1
+	}
 	return d, nil
 }
 
@@ -350,6 +373,9 @@ func (d *Device) LastGCStall() sim.Time { return d.lastGCStall }
 // Flash exposes the underlying chip for wear inspection in tests/benches.
 func (d *Device) Flash() *flash.Device { return d.chip }
 
+// SetInjector attaches a fault injector to the underlying flash.
+func (d *Device) SetInjector(inj *fault.Injector) { d.chip.SetInjector(inj) }
+
 // DRAMFootprintBytes reports the on-board DRAM the FTL needs: 4 bytes per
 // logical page for the mapping table (§2.2's estimate) plus 4 bytes per
 // block of GC metadata.
@@ -378,7 +404,10 @@ func (d *Device) allocPage(stream int, gc bool) (int64, error) {
 		lun := *cursor % luns
 		*cursor++
 		f := &fronts[lun]
-		if f.block >= 0 && d.chip.WrittenPages(f.block) < d.pages {
+		// A frontier that grew bad (failed program) or was sealed by crash
+		// recovery no longer accepts programs; fall through and replace it.
+		if f.block >= 0 && d.chip.WrittenPages(f.block) < d.pages &&
+			!d.chip.IsBad(f.block) && !d.chip.IsSealed(f.block) {
 			return d.ppn(f.block, d.chip.WrittenPages(f.block)), nil
 		}
 		if b, ok := d.takeFreeBlock(lun, gc); ok {
@@ -477,9 +506,34 @@ func (d *Device) WritePageStream(at sim.Time, lpn int64, stream int, data []byte
 		}
 	}
 	d.attr.Charge(telemetry.PhaseGCStall, at-gcFrom)
-	done, err := d.chip.ProgramPage(at, d.blockOf(ppn), d.pageOf(ppn))
-	if err != nil {
-		return at, err
+	var done sim.Time
+	for attempt := 0; ; attempt++ {
+		block, page := d.blockOf(ppn), d.pageOf(ppn)
+		done, err = d.chip.ProgramPage(at, block, page)
+		if err == nil {
+			if d.cfg.Recovery {
+				d.chip.StampOOB(block, page, lpn, d.nextSeq)
+				d.nextSeq++
+			}
+			break
+		}
+		if err != flash.ErrProgramFailed || attempt >= 3 {
+			return at, err
+		}
+		// The program failed and retired the block mid-write: handle the
+		// grown-bad block (strip it from the frontiers, migrate its valid
+		// pages) and re-drive the write on a fresh frontier. The whole
+		// detour is charged as GC stall — to the host it is exactly that:
+		// the write stalled behind device housekeeping.
+		retryFrom := at
+		at = d.retireBlock(done, block)
+		if ppn, err = d.allocPage(stream, false); err != nil {
+			at = d.forceGC(at)
+			if ppn, err = d.allocPage(stream, false); err != nil {
+				return at, err
+			}
+		}
+		d.attr.Charge(telemetry.PhaseGCStall, at-retryFrom)
 	}
 	d.freeSlots--
 	d.invalidate(at, d.l2p[lpn])
@@ -521,6 +575,27 @@ func (d *Device) ReadPage(at sim.Time, lpn int64) (sim.Time, []byte, error) {
 	return done, payload, nil
 }
 
+// ReadMeta reads one logical page and returns the out-of-band stamp the
+// physical page carries. The integrity harness verifies every read against
+// the fault oracle with it: gotLPN must equal lpn and seq must be a sequence
+// number the oracle considers acceptable. Requires Config.Recovery (the OOB
+// area only exists then).
+func (d *Device) ReadMeta(at sim.Time, lpn int64) (done sim.Time, gotLPN int64, seq uint64, err error) {
+	if lpn < 0 || lpn >= d.logicalPages {
+		return at, -1, 0, ErrOutOfRange
+	}
+	ppn := d.l2p[lpn]
+	if ppn == unmapped {
+		return at, -1, 0, ErrUnmapped
+	}
+	done, _, err = d.ReadPage(at, lpn)
+	if err != nil {
+		return done, -1, 0, err
+	}
+	gotLPN, seq = d.chip.OOB(d.blockOf(ppn), d.pageOf(ppn))
+	return done, gotLPN, seq, nil
+}
+
 // Trim unmaps n logical pages starting at lpn. With TrimSupported it
 // invalidates the physical pages so GC does not copy dead data; without it
 // the call is a no-op (the pre-TRIM world many conventional deployments
@@ -560,3 +635,7 @@ func (d *Device) FreeBlocks() int { return d.freeCount }
 
 // FreeSlots reports the number of programmable page slots device-wide.
 func (d *Device) FreeSlots() int64 { return d.freeSlots }
+
+// NextSeq reports the sequence number the next stamped write will carry —
+// the integrity oracle resyncs to it after recovery.
+func (d *Device) NextSeq() uint64 { return d.nextSeq }

@@ -105,13 +105,24 @@ func (d *Device) incrementalGC(at sim.Time) sim.Time {
 			d.fl.Record(at, telemetry.FlightGCVictim, int32(v), "incremental", d.valid[v])
 		}
 		moved, done := d.relocateChunk(at, d.gcVictim, budget)
-		_ = done // chunk work proceeds concurrently; the write is not gated
+		// Chunk work proceeds concurrently; the write is not gated. The
+		// high-water mark of relocation completions is kept only for the
+		// crash-consistency barrier below.
+		d.gcRelocDone = sim.Max(d.gcRelocDone, done)
 		budget -= moved
 		if int(d.gcCursor) >= d.pages {
 			victim := d.gcVictim
 			d.gcVictim = -1
 			d.mGCVictims.Inc()
-			if eraseDone, err := d.chip.EraseBlock(at, victim); err == nil {
+			eraseAt := at
+			if d.cfg.Recovery {
+				// Crash-consistency barrier: with power loss in the model,
+				// the erase must not be issued before the relocated copies
+				// are durable, or a crash in between destroys the only
+				// surviving version.
+				eraseAt = sim.Max(eraseAt, d.gcRelocDone)
+			}
+			if eraseDone, err := d.chip.EraseBlock(eraseAt, victim); err == nil {
 				_ = eraseDone
 				d.counters.BlockErases++
 				d.valid[victim] = 0
@@ -151,6 +162,20 @@ func (d *Device) relocateChunk(at sim.Time, victim, budget int) (moved int, done
 			return moved, done
 		}
 		cDone, err := d.chip.CopyPage(at, victim, p, d.blockOf(dst), d.pageOf(dst))
+		if err == flash.ErrProgramFailed {
+			// Destination retired mid-chunk: clean it up and retry the page
+			// on the next call (the cursor is rewound).
+			at = d.retireBlock(cDone, d.blockOf(dst))
+			d.gcCursor--
+			continue
+		}
+		if err == flash.ErrUncorrectable {
+			// Detected loss of the victim page; drop the mapping.
+			d.p2l[ppn] = unmapped
+			d.l2p[lpn] = unmapped
+			d.valid[victim]--
+			continue
+		}
 		if err != nil {
 			d.gcCursor--
 			return moved, done
@@ -211,8 +236,10 @@ func (d *Device) isFrontier(block int) bool {
 }
 
 // pickVictim selects a GC victim per the configured policy, or -1 if no
-// block is eligible. Only fully-written, non-frontier, non-free blocks are
-// candidates; ties break toward the least-erased block (wear leveling).
+// block is eligible. Only closed, non-frontier, non-free blocks are
+// candidates — fully-written blocks plus partially-written blocks sealed by
+// crash recovery (torn frontiers GC must be able to reclaim); ties break
+// toward the least-erased block (wear leveling).
 func (d *Device) pickVictim(at sim.Time) int {
 	best := -1
 	var bestValid int64
@@ -221,7 +248,7 @@ func (d *Device) pickVictim(at sim.Time) int {
 		if d.chip.IsBad(b) || d.isFree(b) || d.isFrontier(b) || b == d.gcVictim {
 			continue
 		}
-		if d.chip.WrittenPages(b) < d.pages {
+		if d.chip.WrittenPages(b) < d.pages && !d.chip.IsSealed(b) {
 			continue
 		}
 		v := d.valid[b]
@@ -298,6 +325,84 @@ func (d *Device) gcSlots() int64 {
 	return slots
 }
 
+// dropFrontier removes block from every open frontier reference.
+func (d *Device) dropFrontier(block int) {
+	for _, fronts := range d.hostFront {
+		for i := range fronts {
+			if fronts[i].block == block {
+				fronts[i].block = -1
+			}
+		}
+	}
+	for i := range d.gcFront {
+		if d.gcFront[i].block == block {
+			d.gcFront[i].block = -1
+		}
+	}
+}
+
+// retireBlock handles a block the media just retired mid-workload (a failed
+// program grew the bad-block set): the block is stripped from the frontier
+// set, its now-unprogrammable slots are deducted from the free pool, and its
+// valid pages — still readable on the grown-bad block — are migrated to
+// fresh locations so the device no longer depends on marginal cells. A
+// migration destination failing in turn joins the work list. Returns when
+// the migration traffic completes.
+func (d *Device) retireBlock(at sim.Time, block int) sim.Time {
+	// Migration copies fan out like GC; per-copy attribution would
+	// double-count, so the caller charges the host-visible stall instead.
+	d.attr.Suspend()
+	defer d.attr.Resume()
+	work := []int{block}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		d.dropFrontier(b)
+		d.freeSlots -= int64(d.pages - d.chip.WrittenPages(b))
+		d.fl.Record(at, telemetry.FlightFault, int32(b), "ftl_retire", d.valid[b])
+		for p := 0; p < d.chip.WrittenPages(b); p++ {
+			ppn := d.ppn(b, p)
+			lpn := d.p2l[ppn]
+			if lpn == unmapped {
+				continue
+			}
+			for {
+				dst, err := d.allocPage(0, true)
+				if err != nil {
+					// No GC-reachable space to migrate into: the page stays
+					// mapped on the retired block, which remains readable.
+					break
+				}
+				done, cErr := d.chip.CopyPage(at, b, p, d.blockOf(dst), d.pageOf(dst))
+				if cErr == flash.ErrProgramFailed {
+					work = append(work, d.blockOf(dst))
+					continue
+				}
+				if cErr != nil {
+					// Uncorrectable source read: a detected loss; drop the
+					// mapping.
+					d.p2l[ppn] = unmapped
+					d.l2p[lpn] = unmapped
+					d.valid[b]--
+					break
+				}
+				at = sim.Max(at, done)
+				d.freeSlots--
+				d.p2l[ppn] = unmapped
+				d.l2p[lpn] = dst
+				d.p2l[dst] = lpn
+				d.valid[d.blockOf(dst)]++
+				d.valid[b]--
+				d.counters.FlashReadPages++
+				d.counters.FlashProgramPages++
+				d.counters.GCCopyPages++
+				break
+			}
+		}
+	}
+	return at
+}
+
 // relocateAndErase copies the victim's valid pages forward, erases it, and
 // returns it to the free pool. Copies are issued concurrently at time at and
 // serialize per-LUN through the flash resource model; the erase queues
@@ -317,27 +422,45 @@ func (d *Device) relocateAndErase(at sim.Time, victim int) (sim.Time, bool) {
 		if lpn == unmapped {
 			continue
 		}
-		dst, err := d.allocPage(0, true)
-		if err != nil {
-			return at, false // out of space mid-GC; caller surfaces ErrOutOfSpace
+		for {
+			dst, err := d.allocPage(0, true)
+			if err != nil {
+				return at, false // out of space mid-GC; caller surfaces ErrOutOfSpace
+			}
+			done, err := d.chip.CopyPage(at, victim, p, d.blockOf(dst), d.pageOf(dst))
+			if err == flash.ErrProgramFailed {
+				// The destination went bad mid-GC: retire it (migrating
+				// anything already copied into it) and retry this page.
+				at = d.retireBlock(done, d.blockOf(dst))
+				continue
+			}
+			if err == flash.ErrUncorrectable {
+				// The victim page itself is unreadable after the retry
+				// ladder: a detected loss. Drop the mapping rather than
+				// strand reclamation on it.
+				d.p2l[ppn] = unmapped
+				d.l2p[lpn] = unmapped
+				d.valid[victim]--
+				break
+			}
+			if err != nil {
+				return at, false
+			}
+			if done > lastDone {
+				lastDone = done
+			}
+			d.freeSlots--
+			// Re-point the mapping.
+			d.p2l[ppn] = unmapped
+			d.l2p[lpn] = dst
+			d.p2l[dst] = lpn
+			d.valid[d.blockOf(dst)]++
+			d.valid[victim]--
+			d.counters.FlashReadPages++
+			d.counters.FlashProgramPages++
+			d.counters.GCCopyPages++
+			break
 		}
-		done, err := d.chip.CopyPage(at, victim, p, d.blockOf(dst), d.pageOf(dst))
-		if err != nil {
-			return at, false
-		}
-		if done > lastDone {
-			lastDone = done
-		}
-		d.freeSlots--
-		// Re-point the mapping.
-		d.p2l[ppn] = unmapped
-		d.l2p[lpn] = dst
-		d.p2l[dst] = lpn
-		d.valid[d.blockOf(dst)]++
-		d.valid[victim]--
-		d.counters.FlashReadPages++
-		d.counters.FlashProgramPages++
-		d.counters.GCCopyPages++
 	}
 
 	d.gcRuns++
@@ -346,7 +469,14 @@ func (d *Device) relocateAndErase(at sim.Time, victim int) (sim.Time, bool) {
 	d.mGCCopies.Add(d.counters.GCCopyPages - copied)
 	d.tr.SpanArg(telemetry.ProcFTL, 0, "ftl", "gc_relocate", at, lastDone,
 		"victim", int64(victim))
-	eraseDone, err := d.chip.EraseBlock(at, victim)
+	eraseAt := at
+	if d.cfg.Recovery {
+		// Crash-consistency barrier: never issue the erase before the
+		// relocated copies are durable (a crash in between would destroy
+		// the only surviving version of the victim's live pages).
+		eraseAt = sim.Max(eraseAt, lastDone)
+	}
+	eraseDone, err := d.chip.EraseBlock(eraseAt, victim)
 	if err != nil {
 		// ErrWornOut: the block is retired and its capacity is permanently
 		// lost (it stays out of the free pool and out of freeSlots). Any

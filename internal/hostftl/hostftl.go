@@ -107,6 +107,16 @@ type FTL struct {
 	// Incremental GC cursor.
 	gcVictim int
 	gcCursor int64
+	// gcRelocDone is the completion high-water mark of incremental
+	// relocation copies — the crash-consistency barrier for the victim's
+	// reset when recovery is armed.
+	gcRelocDone sim.Time
+
+	// recovery mirrors the device's crash-recovery arming (zns.Config
+	// .Recovery): when set, every host append is stamped with (lpn, seq)
+	// out-of-band so Recover can rebuild the mapping, newest seq winning.
+	recovery bool
+	nextSeq  uint64
 
 	hostWrites  uint64
 	hostReads   uint64
@@ -114,6 +124,7 @@ type FTL struct {
 	emergencies uint64
 	remaps      uint64
 	maintTicks  uint64
+	evacuations uint64
 	// lastStall is the host-visible stall of the most recent write due to
 	// reclamation work.
 	lastStall sim.Time
@@ -170,6 +181,10 @@ func New(dev *zns.Device, cfg Config) (*FTL, error) {
 		streamRR:     make([]int, cfg.Streams),
 		gcZone:       -1,
 		gcVictim:     -1,
+	}
+	if dev.Flash().RecoveryEnabled() {
+		f.recovery = true
+		f.nextSeq = 1
 	}
 	for i := range f.l2p {
 		f.l2p[i] = unmapped
@@ -297,9 +312,12 @@ func (f *FTL) takeFreeZone() (int, bool) {
 
 // appendTo appends one page into the given open zone, rolling to a fresh
 // zone when full. Returns the device LBA. zoneSlot points at the stream's
-// (or GC's) current-zone variable.
+// (or GC's) current-zone variable. A zone that goes ReadOnly under the
+// append (a grown-bad stripe block, zns.ErrZoneReadOnly) is evacuated and
+// replaced; the retry budget bounds how many media failures one logical
+// write will absorb before surfacing the error.
 func (f *FTL) appendTo(at sim.Time, zoneSlot *int, data []byte) (int64, sim.Time, error) {
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 0; attempt < 4; attempt++ {
 		if *zoneSlot < 0 {
 			z, ok := f.takeFreeZone()
 			if !ok {
@@ -315,10 +333,38 @@ func (f *FTL) appendTo(at sim.Time, zoneSlot *int, data []byte) (int64, sim.Time
 			*zoneSlot = -1
 			continue
 		}
+		if errors.Is(err, zns.ErrZoneReadOnly) {
+			ro := *zoneSlot
+			*zoneSlot = -1
+			retryFrom := at
+			at = f.evacuateZone(at, ro)
+			// Charged as reclamation stall; no-op when the caller is
+			// already inside suspended maintenance work.
+			f.attr.Charge(telemetry.PhaseGCStall, at-retryFrom)
+			continue
+		}
 		return 0, at, err
 	}
 	return 0, at, ErrOutOfSpace
 }
+
+// evacuateZone relocates every live page off a zone that transitioned to
+// ReadOnly, so the stranded zone holds no mappings the next crash or wear
+// event could threaten. The host can do this precisely because it owns the
+// mapping (§2.3); a conventional SSD hides the equivalent remapping inside
+// its FTL. Pages that cannot be moved (pool exhausted) stay mapped on the
+// read-only zone — still readable, just not reclaimable.
+func (f *FTL) evacuateZone(at sim.Time, z int) sim.Time {
+	f.attr.Suspend()
+	defer f.attr.Resume()
+	f.evacuations++
+	f.fl.Record(at, telemetry.FlightFault, int32(z), "hostftl_evacuate", f.valid[z])
+	done, _ := f.relocateRange(at, z, 0, f.dev.WP(z))
+	return sim.Max(at, done)
+}
+
+// Evacuations reports how many read-only zone evacuations have run.
+func (f *FTL) Evacuations() uint64 { return f.evacuations }
 
 func (f *FTL) invalidate(devLBA int64) {
 	if devLBA == unmapped {
@@ -353,6 +399,10 @@ func (f *FTL) WriteStream(at sim.Time, lpn int64, stream int, data []byte) (sim.
 	lba, done, err := f.appendTo(at, &f.streamZone[stream][slot], data)
 	if err != nil {
 		return at, err
+	}
+	if f.recovery {
+		f.dev.StampOOB(lba, lpn, f.nextSeq)
+		f.nextSeq++
 	}
 	f.invalidate(f.l2p[lpn])
 	f.l2p[lpn] = lba
@@ -404,3 +454,7 @@ func (f *FTL) Trim(lpn, n int64) error {
 
 // FreeZones reports the number of zones in the free pool.
 func (f *FTL) FreeZones() int { return len(f.freeZones) }
+
+// NextSeq reports the sequence number the next stamped write will carry —
+// the integrity oracle resyncs to it after recovery.
+func (f *FTL) NextSeq() uint64 { return f.nextSeq }

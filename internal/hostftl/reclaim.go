@@ -1,6 +1,8 @@
 package hostftl
 
 import (
+	"errors"
+
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
 	"blockhead/internal/zns"
@@ -106,7 +108,10 @@ func (f *FTL) pickVictim() int {
 			continue
 		}
 		st := f.dev.State(z)
-		if st == zns.Offline || st == zns.Empty {
+		if st == zns.Offline || st == zns.Empty || st == zns.ReadOnly {
+			// ReadOnly zones cannot be reset; their capacity is stranded
+			// until the zone is taken offline, so relocation would make no
+			// space progress.
 			continue
 		}
 		dead := f.dev.WP(z) - f.valid[z]
@@ -190,6 +195,13 @@ func (f *FTL) relocateRange(at sim.Time, victim int, from, to int64) (sim.Time, 
 					continue
 				}
 				first, cDone, err := f.dev.SimpleCopy(at, batch[:n], f.gcZone)
+				if errors.Is(err, zns.ErrZoneReadOnly) {
+					// The destination grew a bad block mid-copy; pages it
+					// already absorbed are orphans (never remapped). Retry
+					// the whole batch into a fresh zone.
+					f.gcZone = -1
+					continue
+				}
 				if err != nil {
 					return false
 				}
@@ -226,6 +238,13 @@ func (f *FTL) relocateRange(at sim.Time, victim int, from, to int64) (sim.Time, 
 		dst, wDone, err := f.appendTo(rDone, &f.gcZone, data)
 		if err != nil {
 			return at, false
+		}
+		if f.recovery {
+			// Relocation must carry the original stamp: the copy is the
+			// same logical version, and recovery's newest-seq-wins scan
+			// would otherwise resurrect stale data.
+			lpn, seq := f.dev.OOB(src)
+			f.dev.StampOOB(dst, lpn, seq)
 		}
 		f.remap(src, dst)
 		done = sim.Max(done, wDone)
@@ -280,15 +299,24 @@ func (f *FTL) reclaimChunk(at sim.Time, budget, water int) {
 				validInRange++
 			}
 		}
-		if _, ok := f.relocateRange(at, f.gcVictim, f.gcCursor, end); !ok {
+		rDone, ok := f.relocateRange(at, f.gcVictim, f.gcCursor, end)
+		if !ok {
 			return
 		}
+		f.gcRelocDone = sim.Max(f.gcRelocDone, rDone)
 		f.gcCursor = end
 		budget -= validInRange
 		if f.gcCursor >= wp {
 			victim := f.gcVictim
 			f.gcVictim = -1
-			if _, err := f.dev.Reset(at, victim); err == nil {
+			resetAt := at
+			if f.recovery {
+				// Crash-consistency barrier: the reset's erases must not be
+				// issued before the relocated copies are durable, or a crash
+				// in between destroys the only surviving version.
+				resetAt = sim.Max(resetAt, f.gcRelocDone)
+			}
+			if _, err := f.dev.Reset(resetAt, victim); err == nil {
 				f.valid[victim] = 0
 				if f.dev.State(victim) == zns.Empty {
 					f.freeZones = append(f.freeZones, victim)

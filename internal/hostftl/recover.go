@@ -1,0 +1,145 @@
+package hostftl
+
+import (
+	"errors"
+
+	"blockhead/internal/fault"
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
+	"blockhead/internal/zns"
+)
+
+// Recover models a power loss at crashAt followed by a restart of the whole
+// ZNS stack. The device rediscovers its write pointers first
+// (zns.Device.Recover, O(blocks)); then the host rebuilds its own mapping
+// table by scanning the out-of-band stamps below each recovered write
+// pointer, newest sequence number winning — the host-side analogue of the
+// conventional FTL's recovery scan, except the host chooses the policy: a
+// production dm-zoned-style layer would checkpoint its map and replay a
+// tail, but the simulator models the worst-case full scan so the two stacks
+// are compared on equal (pessimal) footing. Holes below a write pointer —
+// programs that were in flight at the crash — read as flash.ErrUnwritten
+// and are skipped; fully-dead Full zones are reset back into the free pool.
+//
+// The returned report is the device's, extended with the host scan's pages
+// and rebuilt mapping count. Requires the device to have been built with
+// zns.Config.Recovery.
+func (f *FTL) Recover(crashAt sim.Time) (fault.RecoveryReport, error) {
+	rep, err := f.dev.Recover(crashAt)
+	if err != nil {
+		return rep, err
+	}
+
+	// Wipe volatile host state: the mapping, valid counts, open-zone slots,
+	// reclamation cursors, and the free pool are all host DRAM.
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	for i := range f.valid {
+		f.valid[i] = 0
+	}
+	f.freeZones = f.freeZones[:0]
+	for s := range f.streamZone {
+		for j := range f.streamZone[s] {
+			f.streamZone[s][j] = -1
+		}
+	}
+	f.gcZone, f.gcVictim, f.gcCursor = -1, -1, 0
+
+	// Recovery reads are maintenance traffic, not attributable host IO.
+	f.attr.Suspend()
+	defer f.attr.Resume()
+
+	at := rep.RecoveredAt
+	var maxSeq uint64
+	for z := 0; z < f.dev.NumZones(); z++ {
+		switch f.dev.State(z) {
+		case zns.Offline:
+			continue
+		case zns.Empty:
+			f.freeZones = append(f.freeZones, z)
+			continue
+		}
+		wp := f.dev.WP(z)
+		for o := int64(0); o < wp; o++ {
+			lba := f.dev.LBA(z, o)
+			done, lpn, seq, err := f.dev.ReadMeta(at, lba)
+			rep.ScannedPages++
+			if errors.Is(err, flash.ErrUnwritten) {
+				continue // hole: an in-flight program the crash erased
+			}
+			if err != nil {
+				rep.UnreadablePages++
+				continue
+			}
+			at = done
+			if lpn < 0 || lpn >= f.logicalPages {
+				continue // never stamped: relocation orphan or pre-recovery garbage
+			}
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+			if old := f.l2p[lpn]; old != unmapped {
+				_, oldSeq := f.dev.OOB(old)
+				if seq <= oldSeq {
+					continue // equal seqs are identical copies; first wins
+				}
+				oz, _ := f.dev.ZoneOf(old)
+				f.p2l[old] = unmapped
+				f.valid[oz]--
+			}
+			f.l2p[lpn] = lba
+			f.p2l[lba] = lpn
+			f.valid[z]++
+		}
+	}
+	f.nextSeq = maxSeq + 1
+
+	// Zones the scan proved fully dead (every surviving page superseded or
+	// orphaned) go straight back to the pool.
+	for z := 0; z < f.dev.NumZones(); z++ {
+		if f.dev.State(z) != zns.Full || f.valid[z] != 0 {
+			continue
+		}
+		done, err := f.dev.Reset(at, z)
+		if err != nil {
+			continue
+		}
+		at = done
+		if f.dev.State(z) == zns.Empty {
+			f.freeZones = append(f.freeZones, z)
+		}
+	}
+
+	for _, lba := range f.l2p {
+		if lba != unmapped {
+			rep.RecoveredMappings++
+		}
+	}
+	rep.RecoveredAt = at
+	f.fl.Record(at, telemetry.FlightRecover, -1, "hostftl", rep.RecoveredMappings)
+	return rep, nil
+}
+
+// ReadMeta reads a logical page and returns the (lpn, seq) stamp of the
+// physical page that served it — the integrity oracle's verification hook.
+// Requires recovery to be armed.
+func (f *FTL) ReadMeta(at sim.Time, lpn int64) (done sim.Time, gotLPN int64, seq uint64, err error) {
+	if lpn < 0 || lpn >= f.logicalPages {
+		return at, -1, 0, ErrOutOfRange
+	}
+	lba := f.l2p[lpn]
+	if lba == unmapped {
+		return at, -1, 0, ErrUnmapped
+	}
+	done, gotLPN, seq, err = f.dev.ReadMeta(at, lba)
+	if err != nil {
+		return done, -1, 0, err
+	}
+	f.hostReads++
+	return done, gotLPN, seq, nil
+}

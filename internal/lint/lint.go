@@ -94,6 +94,8 @@ func knownRule(name string) bool {
 // every other library package.
 var simCoreSuffixes = []string{
 	"internal/sim",
+	"internal/fault",
+	"internal/fault/oracle",
 	"internal/flash",
 	"internal/ftl",
 	"internal/zns",

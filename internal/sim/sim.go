@@ -75,6 +75,15 @@ func (r *Resource) FreeAt() Time { return r.busyUntil }
 // Reset makes the resource immediately available.
 func (r *Resource) Reset() { r.busyUntil = 0 }
 
+// Interrupt cancels any reservation extending past t, making the resource
+// free at t. Power loss uses it: in-flight work is abandoned, so the
+// resource must not stay "busy" into a future that never happened.
+func (r *Resource) Interrupt(t Time) {
+	if r.busyUntil > t {
+		r.busyUntil = t
+	}
+}
+
 // AcquireAll reserves every resource for dur starting no earlier than at and
 // no earlier than the moment all of them are free. It is used for operations
 // that need several units at once (e.g. a multi-plane erase).

@@ -31,8 +31,15 @@ const (
 	FlightAuditViolation
 	// FlightAttrViolation is a latency-attribution invariant violation.
 	FlightAttrViolation
+	// FlightFault is an injected media fault (flash): an uncorrectable read,
+	// a failed program, or a failed erase.
+	FlightFault
+	// FlightCrash is a power-loss event (flash.CrashAt).
+	FlightCrash
+	// FlightRecover is a completed crash recovery (ftl/zns/hostftl).
+	FlightRecover
 
-	numFlightKinds = int(FlightAttrViolation) + 1
+	numFlightKinds = int(FlightRecover) + 1
 )
 
 var flightKindNames = [numFlightKinds]string{
@@ -44,6 +51,9 @@ var flightKindNames = [numFlightKinds]string{
 	"reclaim",
 	"audit_violation",
 	"attr_violation",
+	"fault",
+	"crash",
+	"recover",
 }
 
 // String returns the kind's stable wire name.

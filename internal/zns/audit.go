@@ -29,12 +29,17 @@ func init() {
 			legalTransitions[from][to] = true
 		}
 	}
-	allow(Empty, Open, Full, ReadOnly, Offline)
+	allow(Empty, Open, Full, Offline)
 	allow(Open, Closed, Full, Empty, ReadOnly, Offline)
 	allow(Closed, Open, Full, Empty, ReadOnly, Offline)
 	allow(Full, Empty, ReadOnly, Offline)
 	allow(ReadOnly, Offline)
-	// Offline is terminal.
+	// ReadOnly is entered only from states that can hold readable data
+	// (Open/Closed/Full): a media failure in an Empty zone has nothing to
+	// preserve and takes the zone straight Offline. ReadOnly's only exit is
+	// Offline, and Offline is terminal — a zone that grew a bad stripe
+	// block never returns to service, which is exactly the stranded-capacity
+	// cost the fault campaign (E13) measures.
 
 	for f := 0; f < numZoneStates; f++ {
 		for t := 0; t < numZoneStates; t++ {

@@ -1,0 +1,231 @@
+package zns
+
+import (
+	"errors"
+	"testing"
+
+	"blockhead/internal/fault"
+	"blockhead/internal/flash"
+	"blockhead/internal/sim"
+)
+
+// recoveryDev builds a small multi-block-stripe device with the recovery
+// machinery armed.
+func recoveryDev(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(Config{
+		Geom: flash.Geometry{Channels: 2, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerLUN: 8, PagesPerBlock: 8, PageSize: 4096},
+		Lat:        flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 2,
+		Recovery:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// fillZone appends n pages to zone z, stamping each with its LBA as lpn.
+func fillZone(t *testing.T, d *Device, z int, n int64) sim.Time {
+	t.Helper()
+	var at sim.Time
+	for k := int64(0); k < n; k++ {
+		lba, done, err := d.Append(at, z, nil)
+		if err != nil {
+			t.Fatalf("append %d to zone %d: %v", k, z, err)
+		}
+		d.StampOOB(lba, lba, uint64(k+1))
+		at = done
+	}
+	return at
+}
+
+// TestRecoverWritePointerRediscovery: after a crash the device freezes
+// written zones Full at the maximum durable extent, keeps empty zones empty,
+// and every durable page stays readable.
+func TestRecoverWritePointerRediscovery(t *testing.T) {
+	d := recoveryDev(t)
+	at := fillZone(t, d, 0, 5)
+	at2 := fillZone(t, d, 1, d.ZonePages())
+	if at2 > at {
+		at = at2
+	}
+
+	rep, err := d.Recover(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State(0) != Full || d.WP(0) != 5 {
+		t.Fatalf("zone 0 = %v wp=%d, want Full wp=5", d.State(0), d.WP(0))
+	}
+	if d.State(1) != Full || d.WP(1) != d.ZonePages() {
+		t.Fatalf("zone 1 = %v wp=%d, want Full wp=%d", d.State(1), d.WP(1), d.ZonePages())
+	}
+	if d.State(2) != Empty {
+		t.Fatalf("untouched zone 2 = %v, want Empty", d.State(2))
+	}
+	if rep.ZonesFull != 2 || rep.ZonesEmpty < 1 {
+		t.Fatalf("census full=%d empty=%d, want 2 and >=1", rep.ZonesFull, rep.ZonesEmpty)
+	}
+	// The rediscovery scan is O(blocks), not O(written pages).
+	if rep.ScannedPages >= 5+d.ZonePages() {
+		t.Fatalf("scanned %d pages; want one confirming read per written block", rep.ScannedPages)
+	}
+	// All durable data readable with stamps intact; holes below wp error.
+	for _, lba := range []int64{0, 4, d.ZonePages(), 2*d.ZonePages() - 1} {
+		if _, lpn, _, err := d.ReadMeta(rep.RecoveredAt, lba); err != nil || lpn != lba {
+			t.Fatalf("ReadMeta(%d) = lpn %d, err %v", lba, lpn, err)
+		}
+	}
+	if _, _, err := d.Read(rep.RecoveredAt, 5); err == nil {
+		t.Fatal("read beyond the frozen write pointer succeeded")
+	}
+	// A frozen-Full zone resets back into service.
+	if _, err := d.Reset(rep.RecoveredAt, 0); err != nil {
+		t.Fatalf("reset of recovered zone: %v", err)
+	}
+	if d.State(0) != Empty {
+		t.Fatalf("zone 0 after reset = %v, want Empty", d.State(0))
+	}
+}
+
+// TestRecoverHoleBelowWP: the max-extent rule freezes the write pointer high
+// enough that no durable page is masked, which can leave holes below it when
+// stripe blocks completed out of offset order. Holes read as ErrUnwritten;
+// every durable page stays reachable.
+func TestRecoverHoleBelowWP(t *testing.T) {
+	d := recoveryDev(t)
+	// Zone 1's first stripe block shares a LUN with zone 0's, so this append
+	// delays zone 0's even offsets by one program relative to the odd ones.
+	lba, _, err := d.Append(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StampOOB(lba, lba, 1)
+	// Five appends to zone 0, all issued at t=0: offsets 1 and 3 (other LUN)
+	// complete before offsets 2 and 4.
+	dones := make([]sim.Time, 5)
+	for k := int64(0); k < 5; k++ {
+		lba, done, err := d.Append(0, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.StampOOB(lba, lba, uint64(k+2))
+		dones[k] = done
+	}
+	if dones[3] >= dones[2] {
+		t.Fatalf("test premise broken: offset 3 (done %d) should beat offset 2 (done %d)",
+			dones[3], dones[2])
+	}
+
+	rep, err := d.Recover(dones[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State(0) != Full || d.WP(0) != 4 {
+		t.Fatalf("zone 0 = %v wp=%d, want Full wp=4 (max extent)", d.State(0), d.WP(0))
+	}
+	for _, o := range []int64{0, 1, 3} {
+		if _, lpn, _, err := d.ReadMeta(rep.RecoveredAt, o); err != nil || lpn != o {
+			t.Fatalf("durable offset %d: lpn %d, err %v", o, lpn, err)
+		}
+	}
+	if _, _, err := d.Read(rep.RecoveredAt, 2); !errors.Is(err, flash.ErrUnwritten) {
+		t.Fatalf("hole below wp: err = %v, want ErrUnwritten", err)
+	}
+	if _, _, err := d.Read(rep.RecoveredAt, 4); err == nil {
+		t.Fatal("read beyond the frozen write pointer succeeded")
+	}
+}
+
+// TestRecoverTornZone: a zone whose only programs were in flight at the cut
+// comes back Empty, its torn blocks re-erased.
+func TestRecoverTornZone(t *testing.T) {
+	d := recoveryDev(t)
+	lba, done, err := d.Append(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StampOOB(lba, lba, 1)
+	// Crash before the program completed: the zone's data never became
+	// durable.
+	rep, err := d.Recover(done - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LostPages != 1 || rep.TornBlocks != 1 {
+		t.Fatalf("lost=%d torn=%d, want 1 and 1", rep.LostPages, rep.TornBlocks)
+	}
+	if d.State(0) != Empty || d.WP(0) != 0 {
+		t.Fatalf("torn zone = %v wp=%d, want Empty wp=0", d.State(0), d.WP(0))
+	}
+	if rep.ErasedBlocks != 1 {
+		t.Fatalf("erased %d torn blocks, want 1", rep.ErasedBlocks)
+	}
+	// The re-erased zone accepts appends again.
+	if _, _, err := d.Append(rep.RecoveredAt, 0, nil); err != nil {
+		t.Fatalf("append to recovered torn zone: %v", err)
+	}
+}
+
+// TestProgramFailTransitionsReadOnly: a hard program failure strands the
+// zone ReadOnly — durable pages stay readable, appends are refused, Reset is
+// invalid (the spec's terminal-ish state), and recovery keeps it ReadOnly.
+func TestProgramFailTransitionsReadOnly(t *testing.T) {
+	d := recoveryDev(t)
+	aud := d.AttachAuditor()
+	at := fillZone(t, d, 0, 3)
+
+	d.SetInjector(fault.New(fault.Profile{Name: "certain", ProgramFailBase: 1}, 1))
+	_, _, err := d.Append(at, 0, nil)
+	if !errors.Is(err, ErrZoneReadOnly) {
+		t.Fatalf("append under certain program failure: err = %v, want ErrZoneReadOnly", err)
+	}
+	d.SetInjector(nil)
+	if d.State(0) != ReadOnly {
+		t.Fatalf("zone state = %v, want ReadOnly", d.State(0))
+	}
+	for lba := int64(0); lba < 3; lba++ {
+		if _, lpn, _, err := d.ReadMeta(at, lba); err != nil || lpn != lba {
+			t.Fatalf("ReadMeta(%d) in ReadOnly zone = lpn %d, err %v", lba, lpn, err)
+		}
+	}
+	if _, _, err := d.Append(at, 0, nil); !errors.Is(err, ErrBadState) {
+		t.Fatalf("append to ReadOnly zone: err = %v, want ErrBadState", err)
+	}
+	if _, err := d.Reset(at, 0); !errors.Is(err, ErrBadState) {
+		t.Fatalf("reset of ReadOnly zone: err = %v, want ErrBadState", err)
+	}
+
+	rep, err := d.Recover(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State(0) != ReadOnly || rep.ZonesReadOnly != 1 {
+		t.Fatalf("after recovery: state=%v census RO=%d, want ReadOnly/1", d.State(0), rep.ZonesReadOnly)
+	}
+	if _, lpn, _, err := d.ReadMeta(rep.RecoveredAt, 1); err != nil || lpn != 1 {
+		t.Fatalf("ReadMeta in recovered ReadOnly zone = lpn %d, err %v", lpn, err)
+	}
+	if err := aud.Check(); err != nil {
+		t.Fatalf("auditor: %v", err)
+	}
+}
+
+// TestRecoverRequiresRecoveryConfig: Recover on a device built without
+// Recovery is refused, not silently wrong.
+func TestRecoverRequiresRecoveryConfig(t *testing.T) {
+	d, err := New(Config{
+		Geom: flash.Geometry{Channels: 2, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerLUN: 8, PagesPerBlock: 8, PageSize: 4096},
+		Lat:        flash.LatenciesFor(flash.TLC),
+		ZoneBlocks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Recover(0); err == nil {
+		t.Fatal("Recover without Config.Recovery succeeded")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"blockhead/internal/fault"
 	"blockhead/internal/flash"
 	"blockhead/internal/sim"
 	"blockhead/internal/stats"
@@ -72,6 +73,11 @@ var (
 	ErrUnwritten     = errors.New("zns: read beyond the write pointer")
 	ErrOutOfRange    = errors.New("zns: address out of range")
 	ErrOffline       = errors.New("zns: zone is offline")
+	// ErrZoneReadOnly reports that a media failure transitioned the zone to
+	// ReadOnly mid-command: data below the write pointer stays readable, but
+	// the host must re-place the failed write — and, eventually, the zone's
+	// live data — elsewhere (§2.1's cell-failure handling).
+	ErrZoneReadOnly = errors.New("zns: zone is read-only")
 )
 
 // Config parameterizes the device.
@@ -99,6 +105,12 @@ type Config struct {
 	// Endurance is the per-block erase budget; 0 = unlimited. Worn-out
 	// blocks shrink their zone at the next reset (§2.1).
 	Endurance uint32
+
+	// Recovery arms crash recovery: the chip keeps out-of-band page stamps
+	// and per-page durability clocks so Recover can rediscover write
+	// pointers after a power loss. Costs O(total pages) of flash-side
+	// bookkeeping; leave off for pure performance runs.
+	Recovery bool
 }
 
 type zone struct {
@@ -176,6 +188,9 @@ func New(cfg Config) (*Device, error) {
 	}
 	chip := flash.New(cfg.Geom, cfg.Lat)
 	chip.Endurance = cfg.Endurance
+	if cfg.Recovery {
+		chip.EnableRecovery()
+	}
 
 	d := &Device{
 		cfg:       cfg,
@@ -286,6 +301,43 @@ func (d *Device) Appends() uint64 { return d.appends }
 
 // Flash exposes the underlying chip for wear inspection.
 func (d *Device) Flash() *flash.Device { return d.chip }
+
+// SetInjector attaches a fault injector to the underlying chip. Attach
+// before driving I/O; nil detaches.
+func (d *Device) SetInjector(inj *fault.Injector) { d.chip.SetInjector(inj) }
+
+// StampOOB records host metadata (a logical page number and a write
+// sequence number) into the out-of-band area of the physical page backing
+// lba. The host FTL stamps every append so its mapping table can be rebuilt
+// after a crash. Requires Config.Recovery; the page must be written.
+func (d *Device) StampOOB(lba int64, lpn int64, seq uint64) {
+	z, offset := d.ZoneOf(lba)
+	block, page := d.addr(z, offset)
+	d.chip.StampOOB(block, page, lpn, seq)
+}
+
+// OOB peeks at the out-of-band stamp of the page backing lba without a
+// timed read — for callers that already hold the page's data (relocation
+// re-stamping, newest-wins comparisons during recovery).
+func (d *Device) OOB(lba int64) (lpn int64, seq uint64) {
+	z, offset := d.ZoneOf(lba)
+	block, page := d.addr(z, offset)
+	return d.chip.OOB(block, page)
+}
+
+// ReadMeta reads the page at lba and returns its out-of-band stamp along
+// with the timed read. Recovery scans and the integrity oracle use it; the
+// stamp is (-1, 0) for pages never stamped. Requires Config.Recovery.
+func (d *Device) ReadMeta(at sim.Time, lba int64) (done sim.Time, lpn int64, seq uint64, err error) {
+	done, _, err = d.Read(at, lba)
+	if err != nil {
+		return done, -1, 0, err
+	}
+	z, offset := d.ZoneOf(lba)
+	block, page := d.addr(z, offset)
+	lpn, seq = d.chip.OOB(block, page)
+	return done, lpn, seq, nil
+}
 
 // LBA composes a global LBA from zone and zone-relative offset.
 func (d *Device) LBA(z int, offset int64) int64 { return int64(z)*d.zonePages + offset }
@@ -484,6 +536,16 @@ func (d *Device) write(at sim.Time, z int, data []byte) (lba int64, done sim.Tim
 	block, page := d.addr(z, offset)
 	lunWait0 := d.attr.Value(telemetry.PhaseLUNWait)
 	done, err = d.chip.ProgramPage(at, block, page)
+	if err == flash.ErrProgramFailed {
+		// A grown-bad block retired one of the zone's stripes mid-write.
+		// Per the spec state machine the zone goes ReadOnly: everything
+		// below the write pointer stays readable, nothing more is accepted,
+		// and the host must re-place both this write and the zone's live
+		// data (§2.1's cell-failure handling).
+		d.release(zn)
+		d.transition(at, z, ReadOnly)
+		return 0, done, ErrZoneReadOnly
+	}
 	if err != nil {
 		return 0, at, err
 	}
@@ -616,6 +678,16 @@ func (d *Device) SimpleCopy(at sim.Time, srcLBAs []int64, dstZone int) (firstLBA
 		sb, sp := d.addr(sz, so)
 		db, dp := d.addr(dstZone, zn.wp)
 		cDone, cErr := d.chip.CopyPage(at, sb, sp, db, dp)
+		if cErr == flash.ErrProgramFailed {
+			// The destination stripe grew a bad block: the destination zone
+			// goes ReadOnly and the caller must restart the copy into a
+			// different zone. Pages already copied stay below the write
+			// pointer (readable, but unmapped by the host — dead on arrival).
+			d.release(zn)
+			d.transition(at, dstZone, ReadOnly)
+			d.attr.Resume()
+			return 0, cDone, ErrZoneReadOnly
+		}
 		if cErr != nil {
 			d.attr.Resume()
 			return 0, at, cErr
