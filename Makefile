@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign update-golden clean
+.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign slo-campaign update-golden clean
 
 all: check
 
-check: vet build lint test bench-telemetry fault-campaign
+check: vet build lint test bench-telemetry fault-campaign slo-campaign
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,8 @@ bench-compare:
 	$(GO) run ./cmd/znsbench -run E4,E6 -bench-json /tmp/blockhead-bench-new.json > /dev/null
 	$(GO) run ./cmd/benchdiff -threshold 0.25 BENCH_attribution.json /tmp/blockhead-bench-new.json
 	$(GO) run ./cmd/benchdiff -threshold 0.001 BENCH_attribution.json BENCH_faults.json
+	$(GO) run ./cmd/znsbench -slo -run E14 -bench-json /tmp/blockhead-bench-slo.json > /dev/null
+	$(GO) run ./cmd/benchdiff -threshold 0.25 BENCH_slo.json /tmp/blockhead-bench-slo.json
 
 # The fault campaign's acceptance bar (docs/faults.md): the same seed and
 # profile reproduce the E13 report bit-for-bit — NAND faults, the power
@@ -60,6 +62,14 @@ fault-campaign:
 	$(GO) run ./cmd/znsbench -quick -faults default -run E13 > /tmp/blockhead-e13-a.txt
 	$(GO) run ./cmd/znsbench -quick -faults default -run E13 > /tmp/blockhead-e13-b.txt
 	cmp /tmp/blockhead-e13-a.txt /tmp/blockhead-e13-b.txt
+
+# The SLO campaign's acceptance bar: the same seed reproduces the E14
+# noisy-neighbor report bit-for-bit — per-tenant breakdowns, the blame
+# matrix with its exact conservation line, and the SLO verdicts included.
+slo-campaign:
+	$(GO) run ./cmd/znsbench -quick -slo -run E14 > /tmp/blockhead-e14-a.txt
+	$(GO) run ./cmd/znsbench -quick -slo -run E14 > /tmp/blockhead-e14-b.txt
+	cmp /tmp/blockhead-e14-a.txt /tmp/blockhead-e14-b.txt
 
 # Short fuzz pass over the trace decoder.
 fuzz:

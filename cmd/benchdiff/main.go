@@ -10,9 +10,12 @@
 //
 // Throughput (write_pages_per_sec) counts as regressed when it drops;
 // latencies and write amplification count as regressed when they rise.
-// Metrics absent from the baseline (zero) are skipped. Comparing a quick
-// run against a full run is refused unless -force is given: their numbers
-// measure different regimes.
+// Metrics absent from the baseline (zero) are skipped. Entries present in
+// only one file are never silently dropped: added entries are listed so
+// they can be folded into the baseline, and entries missing from the new
+// file fail the comparison (lost coverage is a regression too). Comparing
+// a quick run against a full run is refused unless -force is given: their
+// numbers measure different regimes.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"blockhead/internal/core"
 )
@@ -86,10 +90,11 @@ func main() {
 
 	regressions := 0
 	matched := 0
+	var added []string
 	for _, ne := range new_.Entries {
 		oe, ok := baseline[key(ne)]
 		if !ok {
-			fmt.Printf("%s: new entry (no baseline)\n", key(ne))
+			added = append(added, key(ne))
 			continue
 		}
 		matched++
@@ -117,8 +122,21 @@ func main() {
 			fmt.Printf("  %-20s %12.2f -> %12.2f   %+6.1f%%%s\n", m.name, ov, nv, delta*100, verdict)
 		}
 	}
+	// Keys present in only one file are reported explicitly, never
+	// silently dropped. Added keys are informational (a new experiment
+	// has no baseline yet); removed keys fail the run, because a
+	// benchmark that stopped being produced is lost coverage.
+	var removed []string
 	for k := range baseline {
-		fmt.Printf("%s: missing from %s\n", k, flag.Arg(1))
+		removed = append(removed, k)
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	for _, k := range added {
+		fmt.Printf("%s: added (in %s only; fold into the baseline)\n", k, flag.Arg(1))
+	}
+	for _, k := range removed {
+		fmt.Printf("%s: removed (in %s but missing from %s)\n", k, flag.Arg(0), flag.Arg(1))
 	}
 	if matched == 0 {
 		fail(fmt.Errorf("no entries in common between %s and %s", flag.Arg(0), flag.Arg(1)))
@@ -127,7 +145,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %d entries compared, no regression beyond %.0f%%\n", matched, *threshold*100)
+	if len(removed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d baseline entr%s missing from %s\n",
+			len(removed), plural(len(removed), "y", "ies"), flag.Arg(1))
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d entries compared, no regression beyond %.0f%%", matched, *threshold*100)
+	if len(added) > 0 {
+		fmt.Printf(" (%d new entr%s not in baseline)", len(added), plural(len(added), "y", "ies"))
+	}
+	fmt.Println()
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func load(path string) (benchFile, error) {

@@ -15,6 +15,7 @@
 //	znsbench -run E2 -metrics-out m.json -sample-every 5ms
 //	znsbench -run E4 -serve :8077        # live dashboard + JSON endpoints
 //	znsbench -run E4,E6 -bench-json BENCH.json
+//	znsbench -slo -run E14 -bench-json BENCH_slo.json  # per-tenant SLO run
 //	znsbench -cpuprofile cpu.pprof    # profile the simulator itself
 //
 // -trace-out writes Chrome trace-event JSON (open in chrome://tracing or
@@ -63,6 +64,7 @@ func main() {
 		serve       = flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8077)")
 		benchJSON   = flag.String("bench-json", "", "write machine-readable benchmark results (BENCH_*.json schema) to this file")
 		faults      = flag.String("faults", "", "fault profile for the fault-campaign experiment (E13); implies running E13")
+		slo         = flag.Bool("slo", false, "run the per-tenant SLO experiment (E14); implies adding E14 to -run")
 	)
 	flag.Parse()
 
@@ -134,6 +136,17 @@ func main() {
 			}
 			if !hasE13 {
 				e, _ := core.ByID("E13")
+				selected = append(selected, e)
+			}
+		}
+		if *slo {
+			// -slo drives the per-tenant SLO experiment the same way.
+			hasE14 := false
+			for _, e := range selected {
+				hasE14 = hasE14 || e.ID == "E14"
+			}
+			if !hasE14 {
+				e, _ := core.ByID("E14")
 				selected = append(selected, e)
 			}
 		}

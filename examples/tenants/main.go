@@ -1,8 +1,9 @@
-// tenants: the §4.2 active-zone-limit question. Seven bursty tenants share
-// a ZNS SSD that allows 14 active zones. A static policy pins 2 zones per
-// tenant; a dynamic policy lends the idle tenants' budget to whoever is
-// bursting. Burst completion times show why "a fixed active zone budget
-// does not scale for typical bursty workloads".
+// tenants: the noisy-neighbor question. Three tenants — a latency-sensitive
+// web frontend, an analytics scanner, and a churny writer — share one
+// device. Every IO is tagged with its TenantID, every stall is charged to a
+// culprit tenant (the blame matrix), and a per-tenant SLO engine renders
+// windowed verdicts. The same co-tenants that blow their SLOs on a
+// conventional SSD hold them on ZNS with host-scheduled reclamation.
 package main
 
 import (
@@ -10,21 +11,49 @@ import (
 	"log"
 
 	"blockhead/internal/core"
+	"blockhead/internal/telemetry"
 )
 
 func main() {
 	cfg := core.Config{Quick: true, Seed: 9}
-	fmt.Println("7 bursty tenants, 14 active zones, bursts want 8-way zone parallelism")
+	fmt.Println("3 tenants on one device: web (point reads), analytics (scans), churn (overwrites)")
 	fmt.Println()
-	for _, policy := range []core.ZonePolicy{core.StaticZones, core.DynamicZones} {
-		res, err := core.E8Run(policy, cfg)
+	for _, run := range []struct {
+		name string
+		fn   func(core.Config) (core.E14Result, error)
+	}{
+		{"conventional SSD", core.E14Conventional},
+		{"host FTL on ZNS", core.E14HostFTL},
+	} {
+		res, err := run.fn(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8s bursts=%3d  p50=%6.1f ms  p99=%6.1f ms  aggregate %6.0f pages/s\n",
-			policy, res.Bursts, res.BurstP50.Millis(), res.BurstP99.Millis(), res.PagesPerSS)
+		fmt.Printf("%s:\n", run.name)
+		for _, st := range res.Streams {
+			fmt.Printf("  %-10s %5.0f ops/s  mean=%7.0f us  p99=%7.0f us\n",
+				st.Name, st.Rate, st.Lat.Mean.Micros(), st.Lat.P99.Micros())
+		}
+		for _, slo := range res.SLO {
+			verdict := "PASS"
+			if !slo.OK {
+				verdict = "FAIL"
+			}
+			fmt.Printf("  SLO %-10s %-5s %s (%d/%d windows violated, burn %.2f)\n",
+				res.Tenants.Name(slo.SLO.Tenant), slo.SLO.Op, verdict,
+				slo.Violated, slo.Windows, slo.BurnRate)
+		}
+		// Who is to blame? Column sums of the victim×culprit stall matrix.
+		var top telemetry.TenantID
+		for t := telemetry.TenantID(1); t < telemetry.MaxTenants; t++ {
+			if res.Tenants.BlamedNs(t) > res.Tenants.BlamedNs(top) {
+				top = t
+			}
+		}
+		fmt.Printf("  top culprit: %s (blamed for %.1f ms of tenant stalls)\n\n",
+			res.Tenants.Name(top), float64(res.Tenants.BlamedNs(top))/1e6)
 	}
-	fmt.Println()
-	fmt.Println("Dynamic assignment multiplexes the scarce active-zone budget across")
-	fmt.Println("tenants whose bursts rarely overlap — the open question of §4.2.")
+	fmt.Println("Blame is conserved exactly — every microsecond a tenant stalls is")
+	fmt.Println("charged to a culprit — and the host-scheduled ZNS stack keeps every")
+	fmt.Println("SLO green at the same offered load that sinks the conventional one.")
 }

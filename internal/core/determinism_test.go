@@ -2,16 +2,17 @@ package core
 
 import "testing"
 
-// TestE4ReportByteIdentical pins the determinism contract end to end: two
-// runs of the E4 latency experiment from the same seed must render
-// byte-identical reports. simlint (cmd/simlint) enforces the contract
-// statically — no wall clock, no global rand, no map-order leaks — and this
-// test enforces it dynamically, so a nondeterminism regression fails even if
-// it slips past the static rules.
-func TestE4ReportByteIdentical(t *testing.T) {
-	e, ok := ByID("E4")
+// assertReportByteIdentical runs one experiment twice from the same seed
+// and fails unless the rendered reports match byte for byte. simlint
+// (cmd/simlint) enforces the determinism contract statically — no wall
+// clock, no global rand, no map-order leaks — and this check enforces it
+// dynamically, so a nondeterminism regression fails even if it slips past
+// the static rules.
+func assertReportByteIdentical(t *testing.T, id string) {
+	t.Helper()
+	e, ok := ByID(id)
 	if !ok {
-		t.Fatal("E4 not registered")
+		t.Fatalf("%s not registered", id)
 	}
 	r1, err := e.Run(quickCfg)
 	if err != nil {
@@ -39,4 +40,17 @@ func TestE4ReportByteIdentical(t *testing.T) {
 		}
 	}
 	t.Fatalf("reports differ in length: %d vs %d bytes", len(a), len(b))
+}
+
+// TestE4ReportByteIdentical pins the determinism contract end to end for
+// the E4 latency experiment.
+func TestE4ReportByteIdentical(t *testing.T) {
+	assertReportByteIdentical(t, "E4")
+}
+
+// TestE14ReportByteIdentical pins it for the multi-tenant SLO experiment:
+// the per-tenant breakdowns, the blame matrix, the windowed SLO verdicts,
+// and the conservation line must all reproduce bit for bit from one seed.
+func TestE14ReportByteIdentical(t *testing.T) {
+	assertReportByteIdentical(t, "E14")
 }

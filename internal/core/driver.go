@@ -26,7 +26,30 @@ type MixedResult struct {
 	Elapsed    sim.Time
 	WriteScale float64 // writes per virtual second
 	ReadScale  float64 // reads per virtual second
+	Streams    []StreamResult
 	Err        error
+}
+
+// StreamCfg is one additional measured IO stream with its own tenant
+// identity: every op it issues is attributed (and blamed) under Tenant.
+// Exactly one of Rate (open-loop Poisson, per second) or Workers
+// (closed-loop) should be set.
+type StreamCfg struct {
+	Name    string
+	Tenant  telemetry.TenantID
+	Kind    telemetry.OpKind // OpWrite or OpRead: attribution bucket
+	Op      OpFunc
+	Rate    float64
+	Workers int
+}
+
+// StreamResult holds one stream's measurements.
+type StreamResult struct {
+	Name   string
+	Tenant telemetry.TenantID
+	Ops    uint64
+	Lat    stats.Summary
+	Rate   float64 // ops per virtual second
 }
 
 // MixedCfg describes a mixed open/closed-loop drive: Writers closed-loop
@@ -46,6 +69,14 @@ type MixedCfg struct {
 	Readers  int
 	ReadRate float64
 	Read     OpFunc
+	// WriteTenant and ReadTenant tag the primary streams' attribution
+	// records; zero (the "sys" tenant) preserves the single-tenant
+	// behaviour.
+	WriteTenant telemetry.TenantID
+	ReadTenant  telemetry.TenantID
+	// Streams are additional measured IO streams, each with its own tenant
+	// identity — the noisy-neighbor setup (E14).
+	Streams []StreamCfg
 	// Aux is an optional unmeasured open-loop stream at AuxRate — used for
 	// host maintenance work that runs on its own schedule (§4.1).
 	AuxRate float64
@@ -82,7 +113,7 @@ func RunMixed(cfg MixedCfg) MixedResult {
 	// completion time, before the done<=now clamp below, so the sum
 	// invariant is against the device's exact answer.
 	attr := cfg.Probe.Attribution()
-	instrument := func(op OpFunc, kind telemetry.OpKind) OpFunc {
+	instrument := func(op OpFunc, kind telemetry.OpKind, tenant telemetry.TenantID) OpFunc {
 		if attr == nil || op == nil {
 			return op
 		}
@@ -90,7 +121,7 @@ func RunMixed(cfg MixedCfg) MixedResult {
 			if at < warmup {
 				return op(at)
 			}
-			attr.Begin(kind, at)
+			attr.BeginTenant(kind, tenant, at)
 			done, err := op(at)
 			if err != nil {
 				attr.Drop()
@@ -100,8 +131,8 @@ func RunMixed(cfg MixedCfg) MixedResult {
 			return done, nil
 		}
 	}
-	write := instrument(cfg.Write, telemetry.OpWrite)
-	read := instrument(cfg.Read, telemetry.OpRead)
+	write := instrument(cfg.Write, telemetry.OpWrite, cfg.WriteTenant)
+	read := instrument(cfg.Read, telemetry.OpRead, cfg.ReadTenant)
 	fail := func(err error) {
 		if errors.Is(err, ErrStopDrive) {
 			loop.Stop()
@@ -180,11 +211,33 @@ func RunMixed(cfg MixedCfg) MixedResult {
 		openLoop(cfg.AuxRate, cfg.Aux, &auxOps, stats.NewDist(16))
 	}
 
+	// Extra tenant streams share the loop machinery; each gets its own
+	// counters and latency distribution.
+	res.Streams = make([]StreamResult, len(cfg.Streams))
+	streamLat := make([]*stats.Dist, len(cfg.Streams))
+	for i, sc := range cfg.Streams {
+		res.Streams[i] = StreamResult{Name: sc.Name, Tenant: sc.Tenant}
+		streamLat[i] = stats.NewDist(4096)
+		if sc.Op == nil {
+			continue
+		}
+		op := instrument(sc.Op, sc.Kind, sc.Tenant)
+		if sc.Workers > 0 {
+			closedLoop(sc.Workers, op, &res.Streams[i].Ops, streamLat[i])
+		} else if sc.Rate > 0 {
+			openLoop(sc.Rate, op, &res.Streams[i].Ops, streamLat[i])
+		}
+	}
+
 	loop.Run()
 	res.Elapsed = cfg.Duration - cfg.Warmup
 	res.WriteLat = wLat.Summary()
 	res.ReadLat = rLat.Summary()
 	res.WriteScale = stats.Rate(res.WriteOps, res.Elapsed)
 	res.ReadScale = stats.Rate(res.ReadOps, res.Elapsed)
+	for i := range res.Streams {
+		res.Streams[i].Lat = streamLat[i].Summary()
+		res.Streams[i].Rate = stats.Rate(res.Streams[i].Ops, res.Elapsed)
+	}
 	return res
 }

@@ -84,6 +84,10 @@ type Report struct {
 	// Devices are per-configuration device-state sections (wear summary,
 	// zone-state census, audit result), rendered after the breakdowns.
 	Devices []DeviceState
+	// Tenants are per-configuration per-tenant sections: per-tenant latency
+	// and stall totals, the victim×culprit blame matrix with its exact
+	// reconciliation, and SLO verdicts. Rendered after the device states.
+	Tenants []TenantSection
 	// Bench are the machine-readable results (znsbench -bench-json).
 	Bench []BenchEntry
 }
@@ -119,6 +123,24 @@ func deviceState(name string, dev *zns.Device, aud *zns.Auditor) DeviceState {
 		ZoneMap:         dev.StateCensus().String(),
 		Audited:         aud != nil,
 		AuditViolations: aud.Violations(),
+	}
+}
+
+// TenantSection is one configuration's per-tenant observability block.
+type TenantSection struct {
+	Name string
+	Snap telemetry.TenantSnapshot
+	SLO  []telemetry.SLOResult
+}
+
+// AddTenants appends a per-tenant section. Snapshots with no active tenants
+// are skipped, so single-tenant experiments render unchanged.
+func (r *Report) AddTenants(name string, snap telemetry.TenantSnapshot, slo []telemetry.SLOResult) {
+	for t := telemetry.TenantID(0); t < telemetry.MaxTenants; t++ {
+		if snap.Active(t) {
+			r.Tenants = append(r.Tenants, TenantSection{Name: name, Snap: snap, SLO: slo})
+			return
+		}
 	}
 }
 
@@ -223,10 +245,100 @@ func (r Report) Format() string {
 			}
 		}
 	}
+	for _, ts := range r.Tenants {
+		formatTenantSection(&b, ts)
+	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// formatTenantSection renders one configuration's per-tenant block: the
+// per-tenant/op latency and stall lines, the victim×culprit blame matrix,
+// the exact blame-conservation reconciliation, and the SLO verdicts.
+func formatTenantSection(b *strings.Builder, ts TenantSection) {
+	fmt.Fprintf(b, "tenant breakdown — %s:\n", ts.Name)
+	var active []telemetry.TenantID
+	for t := telemetry.TenantID(0); t < telemetry.MaxTenants; t++ {
+		if ts.Snap.Active(t) {
+			active = append(active, t)
+		}
+	}
+	for _, t := range active {
+		for k := telemetry.OpKind(0); int(k) < telemetry.NumOps; k++ {
+			oa := ts.Snap.Tenants[t].Ops[k]
+			if oa.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "  %-10s %-5s n=%-8d mean=%8.1fus p50=%8.1fus p99=%8.1fus stall=%8.1fus\n",
+				ts.Snap.Name(t), k.String(), oa.Count,
+				(sim.Time(float64(oa.TotalSum) / float64(oa.Count))).Micros(),
+				oa.Total.Percentile(50).Micros(), oa.Total.Percentile(99).Micros(),
+				oa.StallSum().Micros())
+		}
+	}
+	fmt.Fprintf(b, "  blame matrix (stall us; victim rows × culprit cols):\n")
+	fmt.Fprintf(b, "    %-10s", "")
+	for _, c := range active {
+		fmt.Fprintf(b, " %10s", ts.Snap.Name(c))
+	}
+	fmt.Fprintf(b, " | %10s\n", "suffered")
+	var blameTot, stallTot sim.Time
+	for _, v := range active {
+		fmt.Fprintf(b, "    %-10s", ts.Snap.Name(v))
+		for _, c := range active {
+			fmt.Fprintf(b, " %10.1f", ts.Snap.Blame[v][c].Micros())
+		}
+		fmt.Fprintf(b, " | %10.1f\n", ts.Snap.SufferedNs(v).Micros())
+		blameTot += ts.Snap.SufferedNs(v)
+		stallTot += ts.Snap.StallNs(v)
+	}
+	fmt.Fprintf(b, "    %-10s", "blamed")
+	for _, c := range active {
+		fmt.Fprintf(b, " %10.1f", ts.Snap.BlamedNs(c).Micros())
+	}
+	fmt.Fprintf(b, " |\n")
+	if reconciled := blameTot == stallTot && tenantRowsReconcile(ts.Snap, active); reconciled {
+		fmt.Fprintf(b, "  blame conservation: sum(blame)=%dns == sum(stalls)=%dns (exact)\n",
+			int64(blameTot), int64(stallTot))
+	} else {
+		fmt.Fprintf(b, "  WARNING: blame conservation broken: sum(blame)=%dns sum(stalls)=%dns\n",
+			int64(blameTot), int64(stallTot))
+	}
+	for _, res := range ts.SLO {
+		fmt.Fprintf(b, "  slo: %s\n", formatSLOResult(ts.Snap, res))
+	}
+}
+
+// tenantRowsReconcile checks the per-victim conservation: each tenant's
+// blame-matrix row sum equals its own stall-phase total exactly.
+func tenantRowsReconcile(snap telemetry.TenantSnapshot, active []telemetry.TenantID) bool {
+	for _, v := range active {
+		if snap.SufferedNs(v) != snap.StallNs(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// formatSLOResult renders one SLO verdict line.
+func formatSLOResult(snap telemetry.TenantSnapshot, res telemetry.SLOResult) string {
+	var obj []string
+	if res.SLO.LatencyMax > 0 {
+		obj = append(obj, fmt.Sprintf("p%g<=%.0fus", res.SLO.Pct, res.SLO.LatencyMax.Micros()))
+	}
+	if res.SLO.MinRate > 0 {
+		obj = append(obj, fmt.Sprintf("rate>=%.0f/s", res.SLO.MinRate))
+	}
+	verdict := "PASS"
+	if !res.OK {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-10s %-5s %-24s %s (burn=%.2f, %d/%d windows violated, worst p%g=%.1fus, worst rate=%.0f/s)",
+		snap.Name(res.SLO.Tenant), res.SLO.Op.String(), strings.Join(obj, " "),
+		verdict, res.BurnRate, res.Violated, res.Windows,
+		res.SLO.Pct, res.WorstUs, res.WorstRate)
 }
 
 func dashes(widths []int) []string {

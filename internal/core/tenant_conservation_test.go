@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
+)
+
+// TestBlameConservationProperty is the blame layer's core invariant as a
+// seeded property test: after a multi-tenant churn run — GC, zone resets,
+// channel/LUN contention and all — every nanosecond a tenant stalled is
+// charged to exactly one culprit. Three seeds, both stacks, under -race
+// via `make check`. The checks are exact (==, not tolerance): blame is
+// conserved by construction, so any drift is a bookkeeping bug.
+func TestBlameConservationProperty(t *testing.T) {
+	stacks := []struct {
+		name string
+		run  func(Config) (E14Result, error)
+	}{
+		{"conventional", E14Conventional},
+		{"hostftl-zns", E14HostFTL},
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		for _, s := range stacks {
+			res, err := s.run(Config{Quick: true, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", s.name, seed, err)
+			}
+			snap := res.Tenants
+			var stalls, suffered, blamed sim.Time
+			for v := telemetry.TenantID(1); v <= 3; v++ {
+				if !snap.Active(v) {
+					t.Errorf("%s seed %d: tenant %s inactive; property vacuous",
+						s.name, seed, snap.Name(v))
+				}
+			}
+			for v := telemetry.TenantID(0); v < telemetry.MaxTenants; v++ {
+				// Row invariant: what victim v suffered (its blame-matrix
+				// row sum) equals its own stall-phase total.
+				if snap.SufferedNs(v) != snap.StallNs(v) {
+					t.Errorf("%s seed %d: tenant %s suffered %dns but stalled %dns",
+						s.name, seed, snap.Name(v), snap.SufferedNs(v), snap.StallNs(v))
+				}
+				stalls += snap.StallNs(v)
+				suffered += snap.SufferedNs(v)
+				blamed += snap.BlamedNs(v)
+			}
+			// Matrix invariant: row sums and column sums both total the
+			// stalled time — no tick double-charged, none dropped.
+			if blamed != stalls || suffered != stalls {
+				t.Errorf("%s seed %d: sum(blamed)=%dns sum(suffered)=%dns sum(stalls)=%dns",
+					s.name, seed, blamed, suffered, stalls)
+			}
+			if res.Attr.Violations != 0 {
+				t.Errorf("%s seed %d: %d attribution violations", s.name, seed, res.Attr.Violations)
+			}
+			if stalls == 0 {
+				t.Errorf("%s seed %d: run accrued no stall time; property vacuous", s.name, seed)
+			}
+		}
+	}
+}

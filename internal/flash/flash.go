@@ -218,6 +218,13 @@ type Device struct {
 	lunBusy  []sim.Time
 	chanBusy []sim.Time
 
+	// Last tenant to occupy each LUN and channel (attr.Worker() at acquire
+	// time). A wait charge blames the previous occupant — the tenant whose
+	// activity the arriving op queued behind. Allocated by SetProbe; nil
+	// when attribution is off.
+	lunOwner  []telemetry.TenantID
+	chanOwner []telemetry.TenantID
+
 	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
 	tr                     *telemetry.Tracer
 	attr                   *telemetry.AttrSink
@@ -250,6 +257,10 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 	d.tr = p.Tracer()
 	d.attr = p.Attribution()
 	d.fl = p.Flight()
+	if d.attr != nil && d.lunOwner == nil {
+		d.lunOwner = make([]telemetry.TenantID, d.Geom.LUNs())
+		d.chanOwner = make([]telemetry.TenantID, d.Geom.Channels)
+	}
 	d.mReads = reg.Counter("flash/read_pages")
 	d.mProgs = reg.Counter("flash/program_pages")
 	d.mErase = reg.Counter("flash/block_erases")
@@ -379,6 +390,30 @@ func (d *Device) SealBlock(block int) { d.blocks[block].sealed = true }
 // IsSealed reports whether a block was sealed (reads stay legal).
 func (d *Device) IsSealed(block int) bool { return d.blocks[block].sealed }
 
+// claimLUN stamps the current worker tenant as the LUN's occupant and
+// returns the previous occupant — the culprit an arriving op's LUN-wait is
+// blamed on. Ownership updates even while attribution is suspended
+// (reclamation fan-out is exactly the occupancy later victims wait behind).
+// SelfTenant when attribution is off.
+func (d *Device) claimLUN(lun int) telemetry.TenantID {
+	if d.lunOwner == nil {
+		return telemetry.SelfTenant
+	}
+	prev := d.lunOwner[lun]
+	d.lunOwner[lun] = d.attr.Worker()
+	return prev
+}
+
+// claimChan is claimLUN for a channel bus.
+func (d *Device) claimChan(ch int) telemetry.TenantID {
+	if d.chanOwner == nil {
+		return telemetry.SelfTenant
+	}
+	prev := d.chanOwner[ch]
+	d.chanOwner[ch] = d.attr.Worker()
+	return prev
+}
+
 func (d *Device) checkAddr(block, page int) error {
 	if block < 0 || block >= len(d.blocks) || page < 0 || page >= d.Geom.PagesPerBlock {
 		return ErrOutOfRange
@@ -406,6 +441,7 @@ func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 	sense := sim.Time(1+retries) * d.Lat.ReadPage
 	lun := d.Geom.LUNOfBlock(block)
 	ch := d.Geom.ChannelOfLUN(lun)
+	prevLUN := d.claimLUN(lun)
 	senseStart, senseEnd := d.luns[lun].Acquire(at, sense)
 	d.lunBusy[lun] += sense
 	d.counts.Reads++
@@ -417,14 +453,16 @@ func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 		d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "read", senseStart, senseEnd, "block", int64(block))
 		return senseEnd, ErrUncorrectable
 	}
+	prevCh := d.claimChan(ch)
 	xferStart, done := d.chans[ch].Acquire(senseEnd, d.Lat.XferPage)
 	d.chanBusy[ch] += d.Lat.XferPage
 	// Attribution: [at..senseStart) LUN queue, sense (incl. retries),
 	// [senseEnd..xferStart) bus queue, transfer — contiguous intervals
-	// covering at..done exactly.
-	d.attr.Charge(telemetry.PhaseLUNWait, senseStart-at)
+	// covering at..done exactly. Waits blame the resource's previous
+	// occupant.
+	d.attr.ChargeBlamed(telemetry.PhaseLUNWait, senseStart-at, prevLUN)
 	d.attr.Charge(telemetry.PhaseNANDRead, sense)
-	d.attr.Charge(telemetry.PhaseChanWait, xferStart-senseEnd)
+	d.attr.ChargeBlamed(telemetry.PhaseChanWait, xferStart-senseEnd, prevCh)
 	d.attr.Charge(telemetry.PhaseXfer, d.Lat.XferPage)
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "read", senseStart, senseEnd, "block", int64(block))
 	d.tr.Span(telemetry.ProcFlashChan, int32(ch), "flash", "xfer_out", xferStart, done)
@@ -454,7 +492,9 @@ func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
 	}
 	lun := d.Geom.LUNOfBlock(block)
 	ch := d.Geom.ChannelOfLUN(lun)
+	prevCh := d.claimChan(ch)
 	xferStart, xferEnd := d.chans[ch].Acquire(at, d.Lat.XferPage)
+	prevLUN := d.claimLUN(lun)
 	progStart, done := d.luns[lun].Acquire(xferEnd, d.Lat.ProgramPage)
 	d.chanBusy[ch] += d.Lat.XferPage
 	d.lunBusy[lun] += d.Lat.ProgramPage
@@ -475,9 +515,9 @@ func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
 	if d.recovery {
 		d.progDone[d.pageIndex(block, page)] = done
 	}
-	d.attr.Charge(telemetry.PhaseChanWait, xferStart-at)
+	d.attr.ChargeBlamed(telemetry.PhaseChanWait, xferStart-at, prevCh)
 	d.attr.Charge(telemetry.PhaseXfer, d.Lat.XferPage)
-	d.attr.Charge(telemetry.PhaseLUNWait, progStart-xferEnd)
+	d.attr.ChargeBlamed(telemetry.PhaseLUNWait, progStart-xferEnd, prevLUN)
 	d.attr.Charge(telemetry.PhaseNANDProgram, d.Lat.ProgramPage)
 	d.tr.Span(telemetry.ProcFlashChan, int32(ch), "flash", "xfer_in", xferStart, xferEnd)
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "program", progStart, done, "block", int64(block))
@@ -501,6 +541,7 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 		return at, ErrWornOut
 	}
 	lun := d.Geom.LUNOfBlock(block)
+	prevLUN := d.claimLUN(lun)
 	eraseStart, done := d.luns[lun].Acquire(at, d.Lat.EraseBlock)
 	d.lunBusy[lun] += d.Lat.EraseBlock
 	d.counts.Erases++
@@ -519,7 +560,7 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 	b.eraseCount++
 	b.nextPage = 0
 	b.sealed = false
-	d.attr.Charge(telemetry.PhaseLUNWait, eraseStart-at)
+	d.attr.ChargeBlamed(telemetry.PhaseLUNWait, eraseStart-at, prevLUN)
 	d.attr.Charge(telemetry.PhaseNANDErase, d.Lat.EraseBlock)
 	d.fl.Record(at, telemetry.FlightErase, int32(block), "", int64(b.eraseCount))
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "erase", eraseStart, done, "block", int64(block))

@@ -26,6 +26,11 @@ func (d *Device) maybeGC(at sim.Time) sim.Time {
 	// caller charges the host-visible stall (how far `at` advanced) instead.
 	d.attr.Suspend()
 	defer d.attr.Resume()
+	// Blame bookkeeping for the triggering write's gc_stall charge: the
+	// culprit is the dominant polluter of the victim whose reclamation
+	// advanced time the most in this round (forceGC extends the same round).
+	d.lastGCCulprit = telemetry.SelfTenant
+	d.gcTopAdv = 0
 	if d.cfg.GCMode == GCDeviceIncremental {
 		return d.incrementalGC(at)
 	}
@@ -39,7 +44,7 @@ func (d *Device) maybeGC(at sim.Time) sim.Time {
 		if victim < 0 {
 			break
 		}
-		done, ok := d.relocateAndErase(at, victim)
+		done, ok := d.reclaimVictim(at, victim)
 		if !ok {
 			break
 		}
@@ -71,7 +76,7 @@ func (d *Device) incrementalGC(at sim.Time) sim.Time {
 		if d.gcVictim >= 0 {
 			v := d.gcVictim
 			d.gcVictim = -1
-			if done, ok := d.relocateAndErase(at, v); ok {
+			if done, ok := d.reclaimVictim(at, v); ok {
 				at = sim.Max(at, done)
 			}
 		}
@@ -80,7 +85,7 @@ func (d *Device) incrementalGC(at sim.Time) sim.Time {
 			if victim < 0 {
 				break
 			}
-			done, ok := d.relocateAndErase(at, victim)
+			done, ok := d.reclaimVictim(at, victim)
 			if !ok {
 				break
 			}
@@ -104,6 +109,9 @@ func (d *Device) incrementalGC(at sim.Time) sim.Time {
 			d.gcVictim, d.gcCursor = v, 0
 			d.fl.Record(at, telemetry.FlightGCVictim, int32(v), "incremental", d.valid[v])
 		}
+		// The chunk's relocation (and eventual erase) occupies LUNs on the
+		// victim's dominant polluter's behalf.
+		d.attr.PushWorker(d.dominantPolluter(d.gcVictim))
 		moved, done := d.relocateChunk(at, d.gcVictim, budget)
 		// Chunk work proceeds concurrently; the write is not gated. The
 		// high-water mark of relocation completions is kept only for the
@@ -135,13 +143,23 @@ func (d *Device) incrementalGC(at sim.Time) sim.Time {
 			} else {
 				d.valid[victim] = 0
 			}
+			d.clearDeadBy(victim)
 			erased = true
 		}
+		d.attr.PopWorker()
 		if moved == 0 && !erased {
 			return at // no progress possible right now
 		}
 	}
 	return at
+}
+
+// clearDeadBy resets a block's per-tenant death counts once the block
+// leaves circulation (erased back to the free pool, or retired).
+func (d *Device) clearDeadBy(block int) {
+	if d.deadBy != nil {
+		d.deadBy[block] = [telemetry.MaxTenants]int32{}
+	}
 }
 
 // relocateChunk copies up to budget valid pages of victim starting at the
@@ -187,6 +205,9 @@ func (d *Device) relocateChunk(at sim.Time, victim, budget int) (moved int, done
 		d.p2l[dst] = lpn
 		d.valid[d.blockOf(dst)]++
 		d.valid[victim]--
+		if d.pageOwner != nil {
+			d.pageOwner[dst] = d.pageOwner[ppn]
+		}
 		d.counters.FlashReadPages++
 		d.counters.FlashProgramPages++
 		d.counters.GCCopyPages++
@@ -209,13 +230,31 @@ func (d *Device) forceGC(at sim.Time) sim.Time {
 		if victim < 0 {
 			break
 		}
-		done, ok := d.relocateAndErase(at, victim)
+		done, ok := d.reclaimVictim(at, victim)
 		if !ok {
 			break
 		}
 		at = sim.Max(at, done)
 	}
 	return at
+}
+
+// reclaimVictim relocates and erases one victim under its dominant
+// polluter's worker identity — the relocation traffic's LUN and channel
+// occupancy is owned by the culprit, so later arrivals' waits blame it —
+// and records the culprit of the round's largest time advance for the
+// triggering write's gc_stall blame charge.
+func (d *Device) reclaimVictim(at sim.Time, victim int) (sim.Time, bool) {
+	c := d.dominantPolluter(victim)
+	d.attr.PushWorker(c)
+	done, ok := d.relocateAndErase(at, victim)
+	d.attr.PopWorker()
+	if ok {
+		if adv := done - at; adv > d.gcTopAdv {
+			d.gcTopAdv, d.lastGCCulprit = adv, c
+		}
+	}
+	return done, ok
 }
 
 // isFrontier reports whether block is a currently open write frontier.
@@ -393,6 +432,9 @@ func (d *Device) retireBlock(at sim.Time, block int) sim.Time {
 				d.p2l[dst] = lpn
 				d.valid[d.blockOf(dst)]++
 				d.valid[b]--
+				if d.pageOwner != nil {
+					d.pageOwner[dst] = d.pageOwner[ppn]
+				}
 				d.counters.FlashReadPages++
 				d.counters.FlashProgramPages++
 				d.counters.GCCopyPages++
@@ -456,6 +498,9 @@ func (d *Device) relocateAndErase(at sim.Time, victim int) (sim.Time, bool) {
 			d.p2l[dst] = lpn
 			d.valid[d.blockOf(dst)]++
 			d.valid[victim]--
+			if d.pageOwner != nil {
+				d.pageOwner[dst] = d.pageOwner[ppn]
+			}
 			d.counters.FlashReadPages++
 			d.counters.FlashProgramPages++
 			d.counters.GCCopyPages++
@@ -476,6 +521,7 @@ func (d *Device) relocateAndErase(at sim.Time, victim int) (sim.Time, bool) {
 		// the only surviving version of the victim's live pages).
 		eraseAt = sim.Max(eraseAt, lastDone)
 	}
+	d.clearDeadBy(victim) // the block leaves circulation either way below
 	eraseDone, err := d.chip.EraseBlock(eraseAt, victim)
 	if err != nil {
 		// ErrWornOut: the block is retired and its capacity is permanently

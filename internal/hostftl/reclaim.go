@@ -49,6 +49,11 @@ func (f *FTL) reclaim(at sim.Time) sim.Time {
 	// host-visible stall (how far `at` advanced) as one phase instead.
 	f.attr.Suspend()
 	defer f.attr.Resume()
+	// Blame bookkeeping for the triggering write's gc_stall charge: the
+	// culprit is the dominant polluter of the victim whose reclamation
+	// advanced time the most in this round.
+	f.lastCulprit = telemetry.SelfTenant
+	f.gcTopAdv = 0
 	switch f.cfg.GCMode {
 	case GCIncremental:
 		if len(f.freeZones) <= 1 {
@@ -78,7 +83,7 @@ func (f *FTL) reclaimInline(at sim.Time) sim.Time {
 	if f.gcVictim >= 0 {
 		victim, from := f.gcVictim, f.gcCursor
 		f.gcVictim = -1
-		done, ok := f.finishVictim(at, victim, from)
+		done, ok := f.reclaimVictim(at, victim, from)
 		if ok {
 			at = sim.Max(at, done)
 		}
@@ -88,13 +93,31 @@ func (f *FTL) reclaimInline(at sim.Time) sim.Time {
 		if victim < 0 {
 			break
 		}
-		done, ok := f.relocateAll(at, victim)
+		done, ok := f.reclaimVictim(at, victim, 0)
 		if !ok {
 			break
 		}
 		at = sim.Max(at, done)
 	}
 	return at
+}
+
+// reclaimVictim relocates and resets one victim under its dominant
+// polluter's worker identity — the relocation and reset traffic's LUN and
+// channel occupancy is owned by the culprit, so later arrivals' waits
+// blame it — and records the culprit of the round's largest time advance
+// for the triggering write's gc_stall blame charge.
+func (f *FTL) reclaimVictim(at sim.Time, victim int, from int64) (sim.Time, bool) {
+	c := f.dominantPolluter(victim)
+	f.attr.PushWorker(c)
+	done, ok := f.finishVictim(at, victim, from)
+	f.attr.PopWorker()
+	if ok {
+		if adv := done - at; adv > f.gcTopAdv {
+			f.gcTopAdv, f.lastCulprit = adv, c
+		}
+	}
+	return done, ok
 }
 
 // pickVictim selects the non-open zone with the most dead (reclaimable)
@@ -157,6 +180,7 @@ func (f *FTL) finishVictim(at sim.Time, victim int, from int64) (sim.Time, bool)
 		return done, false
 	}
 	f.valid[victim] = 0
+	f.clearDeadBy(victim)
 	if f.dev.State(victim) == zns.Empty {
 		f.freeZones = append(f.freeZones, victim)
 	}
@@ -258,6 +282,11 @@ func (f *FTL) remap(src, dst int64) {
 	if lpn == unmapped {
 		return
 	}
+	if f.slotOwner != nil {
+		// A relocated page keeps its writer: moving data does not launder
+		// who polluted the zone it lands in next.
+		f.slotOwner[dst] = f.slotOwner[src]
+	}
 	f.mRelocPages.Inc()
 	sz, _ := f.dev.ZoneOf(src)
 	dz, _ := f.dev.ZoneOf(dst)
@@ -299,8 +328,12 @@ func (f *FTL) reclaimChunk(at sim.Time, budget, water int) {
 				validInRange++
 			}
 		}
+		// The chunk's relocation (and eventual reset) occupies LUNs on the
+		// victim's dominant polluter's behalf.
+		f.attr.PushWorker(f.dominantPolluter(f.gcVictim))
 		rDone, ok := f.relocateRange(at, f.gcVictim, f.gcCursor, end)
 		if !ok {
+			f.attr.PopWorker()
 			return
 		}
 		f.gcRelocDone = sim.Max(f.gcRelocDone, rDone)
@@ -318,6 +351,7 @@ func (f *FTL) reclaimChunk(at sim.Time, budget, water int) {
 			}
 			if _, err := f.dev.Reset(resetAt, victim); err == nil {
 				f.valid[victim] = 0
+				f.clearDeadBy(victim)
 				if f.dev.State(victim) == zns.Empty {
 					f.freeZones = append(f.freeZones, victim)
 				}
@@ -325,5 +359,6 @@ func (f *FTL) reclaimChunk(at sim.Time, budget, water int) {
 				resets++
 			}
 		}
+		f.attr.PopWorker()
 	}
 }

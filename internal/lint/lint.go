@@ -101,6 +101,7 @@ var simCoreSuffixes = []string{
 	"internal/zns",
 	"internal/hostftl",
 	"internal/core",
+	"internal/telemetry",
 	"internal/workload",
 	"internal/placement",
 	"internal/offload",

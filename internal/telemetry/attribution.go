@@ -162,8 +162,27 @@ type AttrSink struct {
 	start     sim.Time
 	cur       [NumPhases]sim.Time
 
+	// Tenant state (tenant.go): the active record's victim tenant, its
+	// per-culprit blame charges, and the pushed-culprit ("worker") stack
+	// device layers consult for resource ownership.
+	tenant   TenantID
+	curBlame [MaxTenants]sim.Time
+	workers  [workerDepth]TenantID
+	nworkers int
+
 	ops        [NumOps]OpAttr
 	violations uint64
+
+	tenants     [MaxTenants]TenantAttr
+	blame       [MaxTenants][MaxTenants]sim.Time
+	tenantNames [MaxTenants]string
+
+	// Windows, if set, receives every completed IO for windowed
+	// tail-latency tracking; SLO, if set, evaluates objectives over those
+	// windows (see SLOResults). Both are nil-safe, so they stay nil unless
+	// a driver arms them.
+	Windows *WindowSet
+	SLO     *SLOEngine
 
 	// OnComplete, if set, observes every completed IO: op kind, exact
 	// end-to-end latency, and the per-phase charges. Test hook for the
@@ -181,35 +200,28 @@ type AttrSink struct {
 // NewAttrSink returns an empty sink.
 func NewAttrSink() *AttrSink { return &AttrSink{} }
 
-// Begin opens the attribution record for one measured IO issued at start.
-// No-op on a nil sink. A Begin while a record is open abandons the old
-// record (counted as a violation: the driver failed to End or Drop it).
+// Begin opens the attribution record for one measured IO issued at start,
+// owned by the sys tenant (BeginTenant tags a specific tenant). No-op on a
+// nil sink. A Begin while a record is open abandons the old record
+// (counted as a violation: the driver failed to End or Drop it).
 func (s *AttrSink) Begin(op OpKind, start sim.Time) {
-	if s == nil {
-		return
-	}
-	if s.active {
-		s.violations++
-		if s.OnViolation != nil {
-			s.OnViolation(start)
-		}
-	}
-	s.active = true
-	s.suspended = 0
-	s.op = op
-	s.start = start
-	s.cur = [NumPhases]sim.Time{}
+	s.BeginTenant(op, 0, start)
 }
 
 // Charge attributes d of the active IO's latency to phase p. No-op when the
 // sink is nil, no record is open (unmeasured work: prefill, warmup,
 // background maintenance), the sink is suspended (parallel fan-out — the
-// enclosing layer charges wall-clock instead), or d <= 0.
+// enclosing layer charges wall-clock instead), or d <= 0. A blame-phase
+// charge with no explicit culprit (see ChargeBlamed) blames the record's
+// own tenant, so blame conservation holds by construction.
 func (s *AttrSink) Charge(p Phase, d sim.Time) {
 	if s == nil || !s.active || s.suspended > 0 || d <= 0 {
 		return
 	}
 	s.cur[p] += d
+	if blamePhases[p] {
+		s.curBlame[s.tenant] += d
+	}
 }
 
 // Reclassify moves up to d of the active record's charge from one phase to
@@ -225,6 +237,17 @@ func (s *AttrSink) Reclassify(from, to Phase, d sim.Time) {
 	}
 	s.cur[from] -= d
 	s.cur[to] += d
+	// Keep blame conserved when the move crosses the blame-phase boundary.
+	// The adjustment lands on the record's own tenant (the only culprit a
+	// relabel can speak for); in-repo reclassifies stay inside the blamed
+	// set (LUNWait -> WPSerial), so this is a no-op there.
+	if blamePhases[from] != blamePhases[to] {
+		if blamePhases[to] {
+			s.curBlame[s.tenant] += d
+		} else {
+			s.curBlame[s.tenant] -= d
+		}
+	}
 }
 
 // Value reports the active record's current charge for phase p (0 if nil
@@ -260,20 +283,28 @@ func (s *AttrSink) Resume() {
 }
 
 // End closes the active record for an IO that completed at done, checks the
-// sum invariant, and folds the record into the per-op aggregates. A record
-// whose phases do not sum exactly to done-start increments Violations (it
-// is still aggregated, so the discrepancy is visible, not hidden).
+// sum invariant and the blame-conservation invariant, and folds the record
+// into the per-op and per-tenant aggregates. A record whose phases do not
+// sum exactly to done-start, or whose blame does not sum exactly to its
+// blame-phase stalls, increments Violations (it is still aggregated, so
+// the discrepancy is visible, not hidden).
 func (s *AttrSink) End(done sim.Time) {
 	if s == nil || !s.active {
 		return
 	}
 	s.active = false
 	total := done - s.start
-	var sum sim.Time
+	var sum, stallSum, blameSum sim.Time
 	for p := 0; p < NumPhases; p++ {
 		sum += s.cur[p]
+		if blamePhases[p] {
+			stallSum += s.cur[p]
+		}
 	}
-	if sum != total || s.suspended != 0 {
+	for c := 0; c < MaxTenants; c++ {
+		blameSum += s.curBlame[c]
+	}
+	if sum != total || s.suspended != 0 || blameSum != stallSum {
 		s.violations++
 		if s.OnViolation != nil {
 			s.OnViolation(done)
@@ -287,6 +318,17 @@ func (s *AttrSink) End(done sim.Time) {
 		a.PhaseSum[p] += s.cur[p]
 		a.Phase[p].Add(s.cur[p])
 	}
+	ta := &s.tenants[s.tenant].Ops[s.op]
+	ta.Count++
+	ta.TotalSum += total
+	ta.Total.Add(total)
+	for p := 0; p < NumPhases; p++ {
+		ta.PhaseSum[p] += s.cur[p]
+	}
+	for c := 0; c < MaxTenants; c++ {
+		s.blame[s.tenant][c] += s.curBlame[c]
+	}
+	s.Windows.Observe(s.tenant, s.op, done, total)
 	if s.OnComplete != nil {
 		s.OnComplete(s.op, total, s.cur)
 	}

@@ -34,11 +34,52 @@ func BenchmarkProbeDisabled(b *testing.B) {
 		a.Suspend()
 		a.Resume()
 		a.End(at + 40*sim.Microsecond)
+		a.BeginTenant(OpRead, 2, at)
+		a.ChargeBlamed(PhaseLUNWait, 10*sim.Microsecond, 3)
+		a.PushWorker(1)
+		_ = a.Worker()
+		a.PopWorker()
+		a.End(at + 50*sim.Microsecond)
 		fl.Record(at, FlightTransition, 3, "empty->open", 0)
 		fl.Violation(at, FlightAuditViolation, 3, "illegal", 0)
 		if p.Flight() != nil || p.Heat() != nil {
 			b.Fatal("nil probe must resolve nil handles")
 		}
+	}
+}
+
+// The windowed-SLO layer follows the same contract: a nil WindowSet and a
+// nil SLOEngine are valid no-ops, so stacks that never configure SLOs pay
+// nothing per IO.
+func BenchmarkProbeDisabledSLO(b *testing.B) {
+	var (
+		w *WindowSet
+		e *SLOEngine
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(i)
+		w.Observe(2, OpRead, at, 40*sim.Microsecond)
+		_ = w.Width()
+		_ = w.Late()
+		e.Add(SLO{Tenant: 2, Op: OpRead})
+		_ = e.Objectives()
+		if e.Evaluate() != nil {
+			b.Fatal("nil engine must evaluate to nil")
+		}
+	}
+}
+
+// The enabled WindowSet path: Observe into the preallocated ring is
+// allocation-free too, so windowed tail tracking can stay on for every
+// tenant-tagged IO.
+func BenchmarkWindowObserveEnabled(b *testing.B) {
+	w := NewWindowSet(WindowCfg{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(i) * sim.Microsecond
+		w.Observe(2, OpRead, at, 40*sim.Microsecond)
 	}
 }
 
@@ -73,6 +114,8 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 		a  *AttrSink
 		fl *Flight
 		p  *Probe
+		w  *WindowSet
+		e  *SLOEngine
 	)
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
@@ -82,6 +125,17 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 		a.Begin(OpWrite, 0)
 		a.Charge(PhaseGCStall, sim.Millisecond)
 		a.End(sim.Millisecond)
+		a.BeginTenant(OpRead, 1, 0)
+		a.ChargeBlamed(PhaseZoneReset, sim.Millisecond, 3)
+		a.PushWorker(2)
+		_ = a.Worker()
+		a.PopWorker()
+		a.SetTenantName(1, "web")
+		a.End(sim.Millisecond)
+		w.Observe(1, OpRead, sim.Millisecond, sim.Microsecond)
+		w.Reset()
+		e.Add(SLO{Tenant: 1, Op: OpRead})
+		_ = e.Evaluate()
 		fl.Record(0, FlightErase, 7, "worn_out", 3)
 		fl.Violation(0, FlightAttrViolation, -1, "attribution_invariant", 0)
 		_ = p.Flight()

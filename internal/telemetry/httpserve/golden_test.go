@@ -28,6 +28,7 @@ func TestGoldenSchemas(t *testing.T) {
 		{"attribution", "attribution.golden.json", p.Attribution().Dump()},
 		{"heatmap", "heatmap.golden.json", p.HeatDump(4 * sim.Millisecond)},
 		{"flight", "flight.golden.json", p.Flight().Dump()},
+		{"tenants", "tenants.golden.json", p.Attribution().TenantsDump()},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			got, err := json.MarshalIndent(tc.dump, "", "  ")

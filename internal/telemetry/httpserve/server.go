@@ -59,6 +59,7 @@ type Server struct {
 	attr    []byte // marshaled telemetry.AttrDump
 	heat    []byte // marshaled telemetry.HeatmapDump
 	flight  []byte // marshaled telemetry.FlightDump
+	tenants []byte // marshaled telemetry.TenantsDump
 	sample  []byte // marshaled sampleEvent (latest SSE payload)
 
 	subMu sync.Mutex
@@ -113,6 +114,7 @@ func New(probe *telemetry.Probe, opts Options) (*Server, error) {
 	mux.HandleFunc("/attribution.json", s.handleAttribution)
 	mux.HandleFunc("/heatmap.json", s.handleHeatmap)
 	mux.HandleFunc("/flight.json", s.handleFlight)
+	mux.HandleFunc("/tenants.json", s.handleTenants)
 	mux.HandleFunc("/events", s.handleEvents)
 	s.srv = &http.Server{Handler: mux}
 	s.Publish(0)
@@ -181,6 +183,10 @@ func (s *Server) Publish(at sim.Time) {
 	if err != nil {
 		flight = []byte("{}")
 	}
+	tenants, err := json.Marshal(s.probe.Attribution().TenantsDump())
+	if err != nil {
+		tenants = []byte("{}")
+	}
 
 	s.mu.Lock()
 	s.seq++
@@ -194,7 +200,7 @@ func (s *Server) Publish(at sim.Time) {
 		sample = []byte("{}")
 	}
 	s.metrics, s.attr, s.sample = metrics, attr, sample
-	s.heat, s.flight = heat, flight
+	s.heat, s.flight, s.tenants = heat, flight, tenants
 	s.lastPub = time.Now() //simlint:allow determinism wall-clock bookkeeping for the publish throttle; it never feeds simulation results
 	s.mu.Unlock()
 
@@ -253,6 +259,13 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	body := s.flight
+	s.mu.Unlock()
+	s.serveJSON(w, body)
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.tenants
 	s.mu.Unlock()
 	s.serveJSON(w, body)
 }

@@ -28,6 +28,13 @@ func testProbe() *telemetry.Probe {
 	p.Metrics.Tick(2 * sim.Millisecond)
 
 	a := p.Attr
+	a.SetTenantName(1, "web")
+	a.SetTenantName(2, "churn")
+	ws := telemetry.NewWindowSet(telemetry.WindowCfg{Width: sim.Millisecond, Keep: 4})
+	eng := telemetry.NewSLOEngine(ws)
+	eng.Add(telemetry.SLO{Tenant: 1, Op: telemetry.OpRead,
+		Pct: 99, LatencyMax: 100 * sim.Microsecond})
+	a.Windows, a.SLO = ws, eng
 	a.Begin(telemetry.OpWrite, 0)
 	a.Charge(telemetry.PhaseGCStall, 3*sim.Millisecond)
 	a.Charge(telemetry.PhaseNANDProgram, sim.Millisecond)
@@ -35,6 +42,12 @@ func testProbe() *telemetry.Probe {
 	a.Begin(telemetry.OpRead, 0)
 	a.Charge(telemetry.PhaseNANDRead, 60*sim.Microsecond)
 	a.End(60 * sim.Microsecond)
+	// One tenant-tagged read whose LUN wait is blamed on tenant 2: the
+	// /tenants.json golden pins the blame matrix and SLO verdict shapes.
+	a.BeginTenant(telemetry.OpRead, 1, 0)
+	a.ChargeBlamed(telemetry.PhaseLUNWait, 140*sim.Microsecond, 2)
+	a.Charge(telemetry.PhaseNANDRead, 60*sim.Microsecond)
+	a.End(200 * sim.Microsecond)
 
 	p.HeatSrc.Register("flash", func(sim.Time) telemetry.DeviceHeat {
 		return telemetry.DeviceHeat{
@@ -109,7 +122,7 @@ func TestEndpoints(t *testing.T) {
 	if err := json.Unmarshal(get(t, s.URL()+"/attribution.json"), &ad); err != nil {
 		t.Fatalf("attribution.json: %v", err)
 	}
-	if ad.Ops["write"].Count != 1 || ad.Ops["read"].Count != 1 {
+	if ad.Ops["write"].Count != 1 || ad.Ops["read"].Count != 2 {
 		t.Fatalf("attribution.json ops = %+v", ad.Ops)
 	}
 	if len(ad.Ops["write"].Phases) != 2 {
@@ -141,6 +154,28 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("flight.json last event = %+v", fd.Events[2])
 	}
 
+	var td telemetry.TenantsDump
+	if err := json.Unmarshal(get(t, s.URL()+"/tenants.json"), &td); err != nil {
+		t.Fatalf("tenants.json: %v", err)
+	}
+	if td.Schema != telemetry.TenantsDumpSchema {
+		t.Fatalf("tenants.json schema = %q", td.Schema)
+	}
+	names := map[string]bool{}
+	for _, tn := range td.Tenants {
+		names[tn.Name] = true
+	}
+	if !names["sys"] || !names["web"] || !names["churn"] {
+		t.Fatalf("tenants.json tenants = %+v", td.Tenants)
+	}
+	if len(td.Blame) != len(td.Tenants) {
+		t.Fatalf("tenants.json blame rows = %d, tenants = %d", len(td.Blame), len(td.Tenants))
+	}
+	if len(td.SLO) != 1 || td.SLO[0].OK {
+		// 140us of blamed LUN wait pushes the read past the 100us bound.
+		t.Fatalf("tenants.json slo = %+v", td.SLO)
+	}
+
 	if !strings.Contains(string(get(t, s.URL()+"/")), "blockhead — live telemetry") {
 		t.Fatal("dashboard HTML not served at /")
 	}
@@ -166,7 +201,7 @@ func TestConcurrentPublishAndServe(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 15; i++ {
 				for _, ep := range []string{
-					"/metrics.json", "/attribution.json", "/heatmap.json", "/flight.json", "/",
+					"/metrics.json", "/attribution.json", "/heatmap.json", "/flight.json", "/tenants.json", "/",
 				} {
 					resp, err := http.Get(s.URL() + ep)
 					if err != nil {

@@ -154,6 +154,12 @@ type Device struct {
 	// serialization (waiting behind this zone's own previous program) versus
 	// cross-traffic die contention. Allocated lazily by SetProbe.
 	blockDone []sim.Time
+
+	// writtenBy counts, per zone, how many programs each tenant issued since
+	// the zone's last reset. A Reset's erase cost is blamed on the dominant
+	// writer — whoever filled the zone caused the need to wipe it. Allocated
+	// lazily by SetProbe alongside blockDone.
+	writtenBy [][telemetry.MaxTenants]int32
 }
 
 // numZoneStates sizes the per-target-state transition counter array.
@@ -223,6 +229,7 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 	d.attr = p.Attribution()
 	if d.attr != nil && d.blockDone == nil {
 		d.blockDone = make([]sim.Time, d.cfg.Geom.TotalBlocks())
+		d.writtenBy = make([][telemetry.MaxTenants]int32, len(d.zones))
 	}
 	for s := range d.mTrans {
 		d.mTrans[s] = reg.Counter("zns/zone/state_transitions{to=" + ZoneState(s).String() + "}")
@@ -479,8 +486,14 @@ func (d *Device) Reset(at sim.Time, z int) (sim.Time, error) {
 	}
 	d.release(zn)
 
+	// The zone's erase cost is blamed on whoever filled it: the dominant
+	// writer since the last reset. Its worker identity also owns the
+	// stripe-erase LUN occupancy, so later arrivals' waits blame it too.
+	culprit := d.dominantWriter(z)
+
 	// The stripe's erases run in parallel across LUNs: suspend per-erase
 	// attribution and charge the reset's wall-clock time as one phase.
+	d.attr.PushWorker(culprit)
 	d.attr.Suspend()
 	done := at
 	survivors := zn.blocks[:0]
@@ -500,7 +513,11 @@ func (d *Device) Reset(at sim.Time, z int) (sim.Time, error) {
 		}
 	}
 	d.attr.Resume()
-	d.attr.Charge(telemetry.PhaseZoneReset, done-at)
+	d.attr.PopWorker()
+	d.attr.ChargeBlamed(telemetry.PhaseZoneReset, done-at, culprit)
+	if d.writtenBy != nil {
+		d.writtenBy[z] = [telemetry.MaxTenants]int32{}
+	}
 	zn.blocks = survivors
 	if d.data != nil {
 		base := d.LBA(z, 0)
@@ -520,6 +537,30 @@ func (d *Device) Reset(at sim.Time, z int) (sim.Time, error) {
 	d.resets++
 	d.mResets.Inc()
 	return done, nil
+}
+
+// clampOwner maps a worker identity into the blame-table range.
+func clampOwner(t telemetry.TenantID) telemetry.TenantID {
+	if t < 0 || t >= telemetry.MaxTenants {
+		return 0
+	}
+	return t
+}
+
+// dominantWriter returns the tenant with the most programs into zone z
+// since its last reset (ties break toward the lower ID), or SelfTenant
+// when nothing was recorded — the reset then self-blames.
+func (d *Device) dominantWriter(z int) telemetry.TenantID {
+	if d.writtenBy == nil {
+		return telemetry.SelfTenant
+	}
+	best, bestN := telemetry.SelfTenant, int32(0)
+	for t, n := range d.writtenBy[z] {
+		if n > bestN {
+			best, bestN = telemetry.TenantID(t), n
+		}
+	}
+	return best
 }
 
 // write programs one page at the zone's write pointer.
@@ -561,6 +602,9 @@ func (d *Device) write(at sim.Time, z int, data []byte) (lba int64, done sim.Tim
 			d.attr.Reclassify(telemetry.PhaseLUNWait, telemetry.PhaseWPSerial, serial)
 		}
 		d.blockDone[block] = done
+	}
+	if d.writtenBy != nil {
+		d.writtenBy[z][clampOwner(d.attr.Worker())]++
 	}
 	d.tr.Span(telemetry.ProcZone, int32(z), "zns", "write", at, done)
 	zn.wp++
@@ -695,6 +739,12 @@ func (d *Device) SimpleCopy(at sim.Time, srcLBAs []int64, dstZone int) (firstLBA
 		dst := d.LBA(dstZone, zn.wp)
 		if firstLBA < 0 {
 			firstLBA = dst
+		}
+		if d.writtenBy != nil {
+			// The copy fills the destination on the current worker's behalf
+			// (reclamation pushes the victim's dominant polluter), so the
+			// destination zone's eventual reset blames the right tenant.
+			d.writtenBy[dstZone][clampOwner(d.attr.Worker())]++
 		}
 		zn.wp++
 		if zn.wp == zn.cap {
