@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign slo-campaign update-golden clean
+.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign slo-campaign whatif-campaign update-golden clean
 
 all: check
 
-check: vet build lint test bench-telemetry fault-campaign slo-campaign
+check: vet build lint test bench-telemetry fault-campaign slo-campaign whatif-campaign
 
 vet:
 	$(GO) vet ./...
@@ -33,7 +33,7 @@ test:
 # and the flight recorder) is a nil no-op — 0 allocs/op. A regression here
 # slows every simulation.
 bench-telemetry:
-	$(GO) test -run='^$$' -bench=ProbeDisabled -benchmem ./internal/telemetry/ ./internal/zns/ ./internal/fault/
+	$(GO) test -run='^$$' -bench=ProbeDisabled -benchmem ./internal/telemetry/ ./internal/telemetry/critpath/ ./internal/zns/ ./internal/fault/
 
 # Regenerate the pinned JSON schemas served by /metrics.json and
 # /attribution.json after a deliberate schema change.
@@ -52,6 +52,7 @@ bench-compare:
 	$(GO) run ./cmd/znsbench -run E4,E6 -bench-json /tmp/blockhead-bench-new.json > /dev/null
 	$(GO) run ./cmd/benchdiff -threshold 0.25 BENCH_attribution.json /tmp/blockhead-bench-new.json
 	$(GO) run ./cmd/benchdiff -threshold 0.001 BENCH_attribution.json BENCH_faults.json
+	$(GO) run ./cmd/benchdiff -threshold 0.001 BENCH_critpath.json /tmp/blockhead-bench-new.json
 	$(GO) run ./cmd/znsbench -slo -run E14 -bench-json /tmp/blockhead-bench-slo.json > /dev/null
 	$(GO) run ./cmd/benchdiff -threshold 0.25 BENCH_slo.json /tmp/blockhead-bench-slo.json
 
@@ -70,6 +71,15 @@ slo-campaign:
 	$(GO) run ./cmd/znsbench -quick -slo -run E14 > /tmp/blockhead-e14-a.txt
 	$(GO) run ./cmd/znsbench -quick -slo -run E14 > /tmp/blockhead-e14-b.txt
 	cmp /tmp/blockhead-e14-a.txt /tmp/blockhead-e14-b.txt
+
+# The what-if campaign's acceptance bar: a counterfactual run (scaled
+# timing parameters + write-pointer early ack) reproduces its report
+# bit-for-bit — the early-ack path is computed from device state alone, so
+# probes cannot perturb the schedule.
+whatif-campaign:
+	$(GO) run ./cmd/znsbench -quick -whatif zone_reset:0,wp_serial:0 -run E4 > /tmp/blockhead-whatif-a.txt
+	$(GO) run ./cmd/znsbench -quick -whatif zone_reset:0,wp_serial:0 -run E4 > /tmp/blockhead-whatif-b.txt
+	cmp /tmp/blockhead-whatif-a.txt /tmp/blockhead-whatif-b.txt
 
 # Short fuzz pass over the trace decoder.
 fuzz:

@@ -10,6 +10,10 @@
 //
 // Throughput (write_pages_per_sec) counts as regressed when it drops;
 // latencies and write amplification count as regressed when they rise.
+// The critical-path what-if ratios count as regressed when they drift in
+// either direction — a prediction is pinned, not minimized — which is how
+// `make bench-compare` gates the what-if engine at 0.1% on
+// BENCH_critpath.json.
 // Metrics absent from the baseline (zero) are skipped. Entries present in
 // only one file are never silently dropped: added entries are listed so
 // they can be folded into the baseline, and entries missing from the new
@@ -26,6 +30,7 @@ import (
 	"sort"
 
 	"blockhead/internal/core"
+	"blockhead/internal/telemetry/critpath"
 )
 
 const schema = "blockhead/bench/v1"
@@ -37,22 +42,63 @@ type benchFile struct {
 	Entries []core.BenchEntry `json:"entries"`
 }
 
-// metric is one compared column of a BenchEntry.
+// metric is one compared column of a BenchEntry. symmetric metrics (the
+// what-if prediction ratios) regress when they drift in either direction:
+// a prediction is pinned, not minimized.
 type metric struct {
 	name         string
 	higherBetter bool
+	symmetric    bool
 	get          func(e core.BenchEntry) float64
 }
 
 var metrics = []metric{
-	{"write_pages_per_sec", true, func(e core.BenchEntry) float64 { return e.WritePPS }},
-	{"write_amp", false, func(e core.BenchEntry) float64 { return e.WriteAmp }},
-	{"read_mean_us", false, func(e core.BenchEntry) float64 { return e.ReadMeanUs }},
-	{"read_p50_us", false, func(e core.BenchEntry) float64 { return e.ReadP50Us }},
-	{"read_p90_us", false, func(e core.BenchEntry) float64 { return e.ReadP90Us }},
-	{"read_p99_us", false, func(e core.BenchEntry) float64 { return e.ReadP99Us }},
-	{"read_p999_us", false, func(e core.BenchEntry) float64 { return e.ReadP999Us }},
-	{"write_p99_us", false, func(e core.BenchEntry) float64 { return e.WriteP99Us }},
+	{name: "write_pages_per_sec", higherBetter: true, get: func(e core.BenchEntry) float64 { return e.WritePPS }},
+	{name: "write_amp", get: func(e core.BenchEntry) float64 { return e.WriteAmp }},
+	{name: "read_mean_us", get: func(e core.BenchEntry) float64 { return e.ReadMeanUs }},
+	{name: "read_p50_us", get: func(e core.BenchEntry) float64 { return e.ReadP50Us }},
+	{name: "read_p90_us", get: func(e core.BenchEntry) float64 { return e.ReadP90Us }},
+	{name: "read_p99_us", get: func(e core.BenchEntry) float64 { return e.ReadP99Us }},
+	{name: "read_p999_us", get: func(e core.BenchEntry) float64 { return e.ReadP999Us }},
+	{name: "write_p99_us", get: func(e core.BenchEntry) float64 { return e.WriteP99Us }},
+	{name: "crit_top_path_frac", symmetric: true, get: func(e core.BenchEntry) float64 {
+		if e.CritPath == nil {
+			return 0
+		}
+		return e.CritPath.TopPathFrac
+	}},
+}
+
+// critRatio pulls one canonical what-if ratio column out of the critpath
+// bench block (0 when the entry predates critpath recording, so old
+// baselines compare as "no baseline" instead of failing).
+func critRatio(scenario string, col func(critpath.WhatIfBench) float64) func(core.BenchEntry) float64 {
+	return func(e core.BenchEntry) float64 {
+		if e.CritPath == nil {
+			return 0
+		}
+		return e.CritPath.WhatIfRatio(scenario, col)
+	}
+}
+
+func init() {
+	for _, sc := range critpath.Canonical() {
+		for _, col := range []struct {
+			name string
+			get  func(critpath.WhatIfBench) float64
+		}{
+			{"read_mean_ratio", func(w critpath.WhatIfBench) float64 { return w.ReadMeanRatio }},
+			{"read_p99_ratio", func(w critpath.WhatIfBench) float64 { return w.ReadP99Ratio }},
+			{"write_mean_ratio", func(w critpath.WhatIfBench) float64 { return w.WriteMeanRatio }},
+			{"write_p99_ratio", func(w critpath.WhatIfBench) float64 { return w.WriteP99Ratio }},
+		} {
+			metrics = append(metrics, metric{
+				name:      "whatif[" + sc.Name + "]." + col.name,
+				symmetric: true,
+				get:       critRatio(sc.Name, col.get),
+			})
+		}
+	}
 }
 
 func main() {
@@ -114,6 +160,9 @@ func main() {
 			bad := delta > *threshold
 			if m.higherBetter {
 				bad = delta < -*threshold
+			}
+			if m.symmetric {
+				bad = delta > *threshold || delta < -*threshold
 			}
 			if bad {
 				verdict = fmt.Sprintf("  REGRESSION (>%.0f%%)", *threshold*100)

@@ -16,6 +16,7 @@
 //	znsbench -run E4 -serve :8077        # live dashboard + JSON endpoints
 //	znsbench -run E4,E6 -bench-json BENCH.json
 //	znsbench -slo -run E14 -bench-json BENCH_slo.json  # per-tenant SLO run
+//	znsbench -run E4 -whatif nand_program:0.5  # counterfactual ground truth
 //	znsbench -cpuprofile cpu.pprof    # profile the simulator itself
 //
 // -trace-out writes Chrome trace-event JSON (open in chrome://tracing or
@@ -46,6 +47,7 @@ import (
 	"blockhead/internal/fault"
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/critpath"
 	"blockhead/internal/telemetry/httpserve"
 )
 
@@ -65,6 +67,7 @@ func main() {
 		benchJSON   = flag.String("bench-json", "", "write machine-readable benchmark results (BENCH_*.json schema) to this file")
 		faults      = flag.String("faults", "", "fault profile for the fault-campaign experiment (E13); implies running E13")
 		slo         = flag.Bool("slo", false, "run the per-tenant SLO experiment (E14); implies adding E14 to -run")
+		whatif      = flag.String("whatif", "", "run under counterfactual phase scalings, e.g. nand_program:0.5 or zone_reset:0,wp_serial:0 — the ground truth the what-if engine predicts")
 	)
 	flag.Parse()
 
@@ -90,6 +93,15 @@ func main() {
 	}
 
 	cfg := core.Config{Quick: *quick, Seed: *seed, FaultProfile: *faults}
+	if *whatif != "" {
+		sc, err := critpath.ParseScenario(*whatif)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "znsbench:", err)
+			os.Exit(2)
+		}
+		cfg.Scenario = &sc
+		fmt.Fprintf(os.Stderr, "znsbench: counterfactual run under %s\n", sc.Name)
+	}
 	if *faults != "" {
 		if _, ok := fault.ProfileByName(*faults); !ok {
 			fmt.Fprintf(os.Stderr, "znsbench: unknown fault profile %q (valid: %s)\n",

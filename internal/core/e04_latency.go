@@ -7,6 +7,7 @@ import (
 	"blockhead/internal/ftl"
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/critpath"
 	"blockhead/internal/workload"
 	"blockhead/internal/zns"
 )
@@ -38,6 +39,10 @@ type E4Result struct {
 	// Attr is the per-phase latency attribution accumulated over the
 	// measured window of this configuration's drive.
 	Attr telemetry.AttrSnapshot
+	// Crit is the critical-path recording over the same window; CritOpts
+	// selects the stack's replay model (zoned: erases are resets).
+	Crit     critpath.Snapshot
+	CritOpts critpath.PredictOpts
 	// Device is the end-of-run device snapshot (wear, zone census, audit).
 	Device DeviceState
 }
@@ -46,7 +51,7 @@ type E4Result struct {
 // pre-filled and the writers sustain uniform random overwrites, so the FTL
 // garbage-collects continuously while Poisson reads arrive.
 func E4Conventional(cfg Config) (E4Result, error) {
-	dev, err := ftl.NewDefault(e4Geometry(), flash.LatenciesFor(flash.TLC), 0.07)
+	dev, err := ftl.NewDefault(e4Geometry(), scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), false), 0.07)
 	if err != nil {
 		return E4Result{}, err
 	}
@@ -70,6 +75,7 @@ func E4Conventional(cfg Config) (E4Result, error) {
 	rKeys := workload.NewUniform(src, dev.CapacityPages())
 	dur, warm := e4Duration(cfg)
 	before := probe.Attr.Snapshot()
+	critDrain(probe) // discard prefill/aging paths
 	res := RunMixed(MixedCfg{
 		Writers: 4,
 		Write: func(t sim.Time) (sim.Time, error) {
@@ -99,6 +105,8 @@ func E4Conventional(cfg Config) (E4Result, error) {
 		ReadP999:     res.ReadLat.P999,
 		WriteP99:     res.WriteLat.P99,
 		Attr:         probe.Attr.Snapshot().Delta(before),
+		Crit:         critDrain(probe),
+		CritOpts:     critpath.PredictOpts{},
 		Device:       DeviceState{Name: "conventional (OP 7%)", Wear: dev.Flash().Wear()},
 	}, nil
 }
@@ -107,8 +115,10 @@ func E4Conventional(cfg Config) (E4Result, error) {
 // a circular log, resetting each wholly-invalidated zone before reuse —
 // the host schedules all reclamation, and no data is ever copied.
 func E4ZNS(cfg Config) (E4Result, error) {
+	scaleWP, wpScale := wpSerialScale(cfg)
 	dev, err := zns.New(zns.Config{
-		Geom: e4Geometry(), Lat: flash.LatenciesFor(flash.TLC), ZoneBlocks: 4})
+		Geom: e4Geometry(), Lat: scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), true),
+		ZoneBlocks: 4, ScaleWPSerial: scaleWP, WPSerialScale: wpScale})
 	if err != nil {
 		return E4Result{}, err
 	}
@@ -148,6 +158,7 @@ func E4ZNS(cfg Config) (E4Result, error) {
 	}
 	dur, warm := e4Duration(cfg)
 	before := probe.Attr.Snapshot()
+	critDrain(probe) // discard prefill paths
 	res := RunMixed(MixedCfg{
 		Writers:  4,
 		Write:    func(t sim.Time) (sim.Time, error) { return writeOne(sim.Max(t, at)) },
@@ -189,6 +200,8 @@ func E4ZNS(cfg Config) (E4Result, error) {
 		ReadP999:     res.ReadLat.P999,
 		WriteP99:     res.WriteLat.P99,
 		Attr:         probe.Attr.Snapshot().Delta(before),
+		Crit:         critDrain(probe),
+		CritOpts:     critpath.PredictOpts{ErasesAreResets: true},
 		Device:       deviceState("zns (host-scheduled resets)", dev, aud),
 	}, nil
 }
@@ -225,6 +238,7 @@ func runE4(cfg Config) (Report, error) {
 			fmt.Sprintf("%.0f", e.ReadP999.Micros()),
 			fmt.Sprintf("%.0f", e.WriteP99.Micros()))
 		r.AddBreakdown(e.Name, e.Attr)
+		r.AddCrit(cfg, e.Name, e.Crit, e.CritOpts, e.Attr)
 		r.AddDeviceState(e.Device)
 		r.Bench = append(r.Bench, BenchEntry{
 			Experiment: "E4", Name: e.Name,
@@ -236,6 +250,7 @@ func runE4(cfg Config) (Report, error) {
 			ReadP999Us:  e.ReadP999.Micros(),
 			WriteP99Us:  e.WriteP99.Micros(),
 			Attribution: e.Attr.Dump(),
+			CritPath:    critBench(e.Crit, e.CritOpts),
 		})
 	}
 	r.AddNote("throughput ratio (zns/conv): %.2fx; read-mean reduction: %.0f%%; read-p99 ratio: %.2fx",

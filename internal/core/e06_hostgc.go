@@ -8,6 +8,7 @@ import (
 	"blockhead/internal/hostftl"
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/critpath"
 	"blockhead/internal/workload"
 	"blockhead/internal/zns"
 )
@@ -42,6 +43,10 @@ type E6Result struct {
 	// Attr is the per-phase latency attribution over the tail-latency phase
 	// (phase B) of the drive.
 	Attr telemetry.AttrSnapshot
+	// Crit is the critical-path recording over phase B; CritOpts selects
+	// the stack's replay model (zoned: erases are resets).
+	Crit     critpath.Snapshot
+	CritOpts critpath.PredictOpts
 	// Device is the end-of-run device snapshot (wear, zone census, audit).
 	Device DeviceState
 }
@@ -56,6 +61,7 @@ type e6Stack struct {
 	at       sim.Time // virtual time after pre-fill and aging
 	src      *workload.Source
 	probe    *telemetry.Probe // per-stack attribution probe
+	critOpts critpath.PredictOpts
 	// device snapshots the end-of-run device state (wear/census/audit).
 	device func() (DeviceState, error)
 }
@@ -100,6 +106,7 @@ func e6Measure(s e6Stack, cfg Config) (E6Result, error) {
 	// its reclamation as a separate paced stream. The attribution breakdown
 	// covers this phase only — it is the one the tail claims are about.
 	beforeB := s.probe.Attribution().Snapshot()
+	critDrain(s.probe) // discard prefill/phase-A paths
 	resB := RunMixed(MixedCfg{
 		WriteRate: e6WriteRate, Write: s.write,
 		ReadRate: e6ReadRate, Read: s.read,
@@ -111,6 +118,7 @@ func e6Measure(s e6Stack, cfg Config) (E6Result, error) {
 		return E6Result{}, resB.Err
 	}
 	attr := s.probe.Attribution().Snapshot().Delta(beforeB)
+	crit := critDrain(s.probe)
 	h1, p1 := s.counters()
 	wa := float64(p1-p0) / float64(h1-h0)
 	var ds DeviceState
@@ -122,6 +130,8 @@ func e6Measure(s e6Stack, cfg Config) (E6Result, error) {
 	}
 	return E6Result{
 		Attr:         attr,
+		Crit:         crit,
+		CritOpts:     s.critOpts,
 		Device:       ds,
 		Name:         s.name,
 		WritePagesPS: resA.WriteScale,
@@ -139,7 +149,7 @@ func e6Measure(s e6Stack, cfg Config) (E6Result, error) {
 // E6Conventional is the baseline: a skewed block workload on a conventional
 // SSD whose opaque FTL does foreground GC.
 func E6Conventional(cfg Config) (E6Result, error) {
-	dev, err := ftl.NewDefault(e6Geometry(), flash.LatenciesFor(flash.TLC), 0.11)
+	dev, err := ftl.NewDefault(e6Geometry(), scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), false), 0.11)
 	if err != nil {
 		return E6Result{}, err
 	}
@@ -180,6 +190,11 @@ func E6Conventional(cfg Config) (E6Result, error) {
 	}, cfg)
 }
 
+// e6ZonedCritOpts is the replay model for the host-FTL-on-ZNS stacks:
+// every erase is a zone reset, so zone_reset counterfactuals reach
+// erase-bound waits.
+var e6ZonedCritOpts = critpath.PredictOpts{ErasesAreResets: true}
+
 // E6HostFTL is the SALSA-style configuration: a host log-structured
 // translation layer over ZNS with incremental reclamation spread across
 // writes, simple-copy relocation, and hot/cold stream separation from
@@ -190,8 +205,10 @@ func E6HostFTL(cfg Config) (E6Result, error) {
 	// per stream restore write parallelism across LUNs. OPFraction 0.20
 	// matches the conventional baseline's *effective* spare (its 11% OP
 	// plus its fixed reserve floor and frontier headroom).
-	dev, err := zns.New(zns.Config{Geom: e6Geometry(), Lat: flash.LatenciesFor(flash.TLC),
-		ZoneBlocks: 1})
+	scaleWP, wpScale := wpSerialScale(cfg)
+	dev, err := zns.New(zns.Config{Geom: e6Geometry(),
+		Lat: scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), true),
+		ZoneBlocks: 1, ScaleWPSerial: scaleWP, WPSerialScale: wpScale})
 	if err != nil {
 		return E6Result{}, err
 	}
@@ -247,9 +264,10 @@ func E6HostFTL(cfg Config) (E6Result, error) {
 		counters: func() (uint64, uint64) {
 			return f.HostWrites(), f.Counters().FlashProgramPages
 		},
-		at:    at,
-		src:   src,
-		probe: probe,
+		at:       at,
+		src:      src,
+		probe:    probe,
+		critOpts: e6ZonedCritOpts,
 		device: func() (DeviceState, error) {
 			if err := aud.Check(); err != nil {
 				return DeviceState{}, err
@@ -281,6 +299,7 @@ func runE6(cfg Config) (Report, error) {
 			fmt.Sprintf("%.0f", e.ReadP99.Micros()),
 			fmt.Sprintf("%.0f", e.ReadP999.Micros()))
 		r.AddBreakdown(e.Name, e.Attr)
+		r.AddCrit(cfg, e.Name, e.Crit, e.CritOpts, e.Attr)
 		r.AddDeviceState(e.Device)
 		r.Bench = append(r.Bench, BenchEntry{
 			Experiment: "E6", Name: e.Name,
@@ -293,6 +312,7 @@ func runE6(cfg Config) (Report, error) {
 			ReadP999Us:  e.ReadP999.Micros(),
 			WriteP99Us:  e.WriteP99.Micros(),
 			Attribution: e.Attr.Dump(),
+			CritPath:    critBench(e.Crit, e.CritOpts),
 		})
 	}
 	r.AddNote("tail ratio (p999 conv/host): %.1fx; throughput gain: %.0f%%",

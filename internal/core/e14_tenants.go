@@ -8,6 +8,7 @@ import (
 	"blockhead/internal/hostftl"
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/critpath"
 	"blockhead/internal/workload"
 	"blockhead/internal/zns"
 )
@@ -59,7 +60,12 @@ type E14Result struct {
 	Attr    telemetry.AttrSnapshot
 	Tenants telemetry.TenantSnapshot
 	SLO     []telemetry.SLOResult
-	Device  DeviceState
+	// Crit is the critical-path recording over the measured window;
+	// CritOpts selects the stack's replay model and enables per-tenant
+	// what-if predictions (who gains if zone resets were free?).
+	Crit     critpath.Snapshot
+	CritOpts critpath.PredictOpts
+	Device   DeviceState
 }
 
 // e14Stack abstracts the two configurations for the shared drive.
@@ -72,6 +78,7 @@ type e14Stack struct {
 	at       sim.Time
 	src      *workload.Source
 	probe    *telemetry.Probe
+	critOpts critpath.PredictOpts
 	device   func() (DeviceState, error)
 }
 
@@ -116,6 +123,7 @@ func e14Measure(s e14Stack, cfg Config) (E14Result, error) {
 
 	beforeAttr := sink.Snapshot()
 	beforeTen := sink.TenantSnapshot()
+	critDrain(s.probe) // discard prefill/aging paths
 	res := RunMixed(MixedCfg{
 		Streams: []StreamCfg{
 			{Name: "web", Tenant: e14Web, Kind: telemetry.OpRead, Rate: e14WebRate,
@@ -139,11 +147,13 @@ func e14Measure(s e14Stack, cfg Config) (E14Result, error) {
 		return E14Result{}, res.Err
 	}
 	out := E14Result{
-		Name:    s.name,
-		Streams: res.Streams,
-		Attr:    sink.Snapshot().Delta(beforeAttr),
-		Tenants: sink.TenantSnapshot().Delta(beforeTen),
-		SLO:     eng.Evaluate(),
+		Name:     s.name,
+		Streams:  res.Streams,
+		Attr:     sink.Snapshot().Delta(beforeAttr),
+		Tenants:  sink.TenantSnapshot().Delta(beforeTen),
+		SLO:      eng.Evaluate(),
+		Crit:     critDrain(s.probe),
+		CritOpts: s.critOpts,
 	}
 	if s.device != nil {
 		var err error
@@ -159,7 +169,7 @@ func e14Measure(s e14Stack, cfg Config) (E14Result, error) {
 // is unlucky enough to be running — the blame matrix charges every stalled
 // tick to a culprit tenant, exactly.
 func E14Conventional(cfg Config) (E14Result, error) {
-	dev, err := ftl.NewDefault(e6Geometry(), flash.LatenciesFor(flash.TLC), 0.11)
+	dev, err := ftl.NewDefault(e6Geometry(), scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), false), 0.11)
 	if err != nil {
 		return E14Result{}, err
 	}
@@ -205,6 +215,7 @@ func E14Conventional(cfg Config) (E14Result, error) {
 		at:       at,
 		src:      src,
 		probe:    probe,
+		critOpts: critpath.PredictOpts{PerTenant: true},
 		device: func() (DeviceState, error) {
 			return DeviceState{Name: "conventional (opaque device GC)",
 				Wear: dev.Flash().Wear()}, nil
@@ -216,8 +227,10 @@ func E14Conventional(cfg Config) (E14Result, error) {
 // incremental reclamation: the host schedules erasures away from the
 // readers (§4.1), so every tenant holds its SLO.
 func E14HostFTL(cfg Config) (E14Result, error) {
-	dev, err := zns.New(zns.Config{Geom: e6Geometry(), Lat: flash.LatenciesFor(flash.TLC),
-		ZoneBlocks: 1})
+	scaleWP, wpScale := wpSerialScale(cfg)
+	dev, err := zns.New(zns.Config{Geom: e6Geometry(),
+		Lat: scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), true),
+		ZoneBlocks: 1, ScaleWPSerial: scaleWP, WPSerialScale: wpScale})
 	if err != nil {
 		return E14Result{}, err
 	}
@@ -283,6 +296,7 @@ func E14HostFTL(cfg Config) (E14Result, error) {
 		at:       at,
 		src:      src,
 		probe:    probe,
+		critOpts: critpath.PredictOpts{ErasesAreResets: true, PerTenant: true},
 		device: func() (DeviceState, error) {
 			if err := aud.Check(); err != nil {
 				return DeviceState{}, err
@@ -328,6 +342,7 @@ func runE14(cfg Config) (Report, error) {
 				verdictOf(st.Tenant))
 		}
 		r.AddBreakdown(e.Name, e.Attr)
+		r.AddCrit(cfg, e.Name, e.Crit, e.CritOpts, e.Attr)
 		r.AddTenants(e.Name, e.Tenants, e.SLO)
 		r.AddDeviceState(e.Device)
 		for _, st := range e.Streams {
@@ -344,6 +359,7 @@ func runE14(cfg Config) (Report, error) {
 				ReadP999Us:  st.Lat.P999.Micros(),
 				WriteP99Us:  churnP99(e.Streams),
 				Attribution: e.Attr.Dump(),
+				CritPath:    critBench(e.Crit, e.CritOpts),
 			})
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"blockhead/internal/flash"
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/critpath"
 	"blockhead/internal/zns"
 )
 
@@ -34,6 +35,14 @@ type Config struct {
 	// model NAND failures and power loss (E13). Empty selects each
 	// experiment's own default; "none" disables injection entirely.
 	FaultProfile string
+	// Scenario, when non-nil, runs the experiments under counterfactual
+	// phase scalings (znsbench -whatif): service-phase factors scale the
+	// flash timing parameters, zone_reset additionally scales erase cost
+	// on zoned stacks, and wp_serial scales the write-pointer
+	// serialization the ZNS device exposes to the host. These runs are
+	// the ground truth the what-if engine's predictions are validated
+	// against (make whatif-campaign).
+	Scenario *critpath.Scenario
 }
 
 // DefaultConfig is the standard full-size run.
@@ -67,6 +76,14 @@ func attrProbe(cfg Config) *telemetry.Probe {
 	if cfg.Probe != nil {
 		p.Pub = cfg.Probe.Pub
 	}
+	// Arm the critical-path recorder once per sink: every experiment that
+	// attributes latency also records per-IO critical paths (same charge
+	// feed, same exact-sum contract), so reports can rank phases by path
+	// ticks and answer what-if questions. Experiments drain the recorder
+	// around their measured windows.
+	if critpath.FromSink(sink) == nil {
+		critpath.Attach(sink, critpath.Options{})
+	}
 	return p
 }
 
@@ -88,6 +105,10 @@ type Report struct {
 	// and stall totals, the victim×culprit blame matrix with its exact
 	// reconciliation, and SLO verdicts. Rendered after the device states.
 	Tenants []TenantSection
+	// Crit are per-configuration critical-path sections: phases ranked by
+	// critical-path ticks (path vs total columns) and the what-if
+	// predictions. Rendered after the attribution breakdowns.
+	Crit []CritSection
 	// Bench are the machine-readable results (znsbench -bench-json).
 	Bench []BenchEntry
 }
@@ -158,6 +179,10 @@ type BenchEntry struct {
 	ReadP999Us  float64            `json:"read_p999_us"`
 	WriteP99Us  float64            `json:"write_p99_us"`
 	Attribution telemetry.AttrDump `json:"attribution"`
+	// CritPath carries the critical-path invariant counters, top path
+	// phase, and canonical what-if ratios (znsbench -bench-json; gated by
+	// benchdiff at 0.1% like every other metric).
+	CritPath *critpath.BenchSummary `json:"critpath,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -213,7 +238,10 @@ func (r Report) Format() string {
 		line(row)
 	}
 	for _, bd := range r.Breakdowns {
-		fmt.Fprintf(&b, "latency attribution — %s:\n", bd.Name)
+		// The attribution table is critical-path ticks by construction
+		// (suspended charges never land); the critical-path section below
+		// adds the off-path ("total") view of the same phases.
+		fmt.Fprintf(&b, "latency attribution — %s (critical-path ticks):\n", bd.Name)
 		for _, op := range []string{"read", "write"} {
 			od, ok := bd.Attr.Ops[op]
 			if !ok {
@@ -229,6 +257,9 @@ func (r Report) Format() string {
 		if bd.Attr.Violations > 0 {
 			fmt.Fprintf(&b, "  WARNING: %d attribution invariant violations\n", bd.Attr.Violations)
 		}
+	}
+	for _, cs := range r.Crit {
+		formatCritSection(&b, cs)
 	}
 	for _, ds := range r.Devices {
 		fmt.Fprintf(&b, "device state — %s: wear blocks=%d bad=%d erases=%d max=%d mean=%.2f spread=%d skew=%.2f\n",

@@ -225,6 +225,13 @@ type Device struct {
 	lunOwner  []telemetry.TenantID
 	chanOwner []telemetry.TenantID
 
+	// Service phase of each LUN's previous cell operation (-1 before the
+	// first), so a LUN-wait charge can tell the critical-path recorder
+	// which cost it queued behind — a read sense, a program, or an erase.
+	// Channel waits need no tracking: the bus only ever transfers pages.
+	// Allocated alongside lunOwner.
+	lunOp []telemetry.Phase
+
 	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
 	tr                     *telemetry.Tracer
 	attr                   *telemetry.AttrSink
@@ -260,6 +267,10 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 	if d.attr != nil && d.lunOwner == nil {
 		d.lunOwner = make([]telemetry.TenantID, d.Geom.LUNs())
 		d.chanOwner = make([]telemetry.TenantID, d.Geom.Channels)
+		d.lunOp = make([]telemetry.Phase, d.Geom.LUNs())
+		for i := range d.lunOp {
+			d.lunOp[i] = -1
+		}
 	}
 	d.mReads = reg.Counter("flash/read_pages")
 	d.mProgs = reg.Counter("flash/program_pages")
@@ -390,18 +401,21 @@ func (d *Device) SealBlock(block int) { d.blocks[block].sealed = true }
 // IsSealed reports whether a block was sealed (reads stay legal).
 func (d *Device) IsSealed(block int) bool { return d.blocks[block].sealed }
 
-// claimLUN stamps the current worker tenant as the LUN's occupant and
-// returns the previous occupant — the culprit an arriving op's LUN-wait is
-// blamed on. Ownership updates even while attribution is suspended
-// (reclamation fan-out is exactly the occupancy later victims wait behind).
-// SelfTenant when attribution is off.
-func (d *Device) claimLUN(lun int) telemetry.TenantID {
+// claimLUN stamps the current worker tenant and the new cell operation's
+// service phase as the LUN's occupancy, and returns the previous occupant
+// and phase — the culprit an arriving op's LUN-wait is blamed on and the
+// cost it queued behind. Ownership updates even while attribution is
+// suspended (reclamation fan-out is exactly the occupancy later victims
+// wait behind). (SelfTenant, -1) when attribution is off.
+func (d *Device) claimLUN(lun int, op telemetry.Phase) (telemetry.TenantID, telemetry.Phase) {
 	if d.lunOwner == nil {
-		return telemetry.SelfTenant
+		return telemetry.SelfTenant, -1
 	}
 	prev := d.lunOwner[lun]
+	prevOp := d.lunOp[lun]
 	d.lunOwner[lun] = d.attr.Worker()
-	return prev
+	d.lunOp[lun] = op
+	return prev, prevOp
 }
 
 // claimChan is claimLUN for a channel bus.
@@ -441,7 +455,7 @@ func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 	sense := sim.Time(1+retries) * d.Lat.ReadPage
 	lun := d.Geom.LUNOfBlock(block)
 	ch := d.Geom.ChannelOfLUN(lun)
-	prevLUN := d.claimLUN(lun)
+	prevLUN, lunBind := d.claimLUN(lun, telemetry.PhaseNANDRead)
 	senseStart, senseEnd := d.luns[lun].Acquire(at, sense)
 	d.lunBusy[lun] += sense
 	d.counts.Reads++
@@ -460,9 +474,9 @@ func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 	// [senseEnd..xferStart) bus queue, transfer — contiguous intervals
 	// covering at..done exactly. Waits blame the resource's previous
 	// occupant.
-	d.attr.ChargeBlamed(telemetry.PhaseLUNWait, senseStart-at, prevLUN)
+	d.attr.ChargeWaitBlamed(telemetry.PhaseLUNWait, senseStart-at, prevLUN, lunBind)
 	d.attr.Charge(telemetry.PhaseNANDRead, sense)
-	d.attr.ChargeBlamed(telemetry.PhaseChanWait, xferStart-senseEnd, prevCh)
+	d.attr.ChargeWaitBlamed(telemetry.PhaseChanWait, xferStart-senseEnd, prevCh, telemetry.PhaseXfer)
 	d.attr.Charge(telemetry.PhaseXfer, d.Lat.XferPage)
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "read", senseStart, senseEnd, "block", int64(block))
 	d.tr.Span(telemetry.ProcFlashChan, int32(ch), "flash", "xfer_out", xferStart, done)
@@ -494,7 +508,7 @@ func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
 	ch := d.Geom.ChannelOfLUN(lun)
 	prevCh := d.claimChan(ch)
 	xferStart, xferEnd := d.chans[ch].Acquire(at, d.Lat.XferPage)
-	prevLUN := d.claimLUN(lun)
+	prevLUN, lunBind := d.claimLUN(lun, telemetry.PhaseNANDProgram)
 	progStart, done := d.luns[lun].Acquire(xferEnd, d.Lat.ProgramPage)
 	d.chanBusy[ch] += d.Lat.XferPage
 	d.lunBusy[lun] += d.Lat.ProgramPage
@@ -515,9 +529,9 @@ func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
 	if d.recovery {
 		d.progDone[d.pageIndex(block, page)] = done
 	}
-	d.attr.ChargeBlamed(telemetry.PhaseChanWait, xferStart-at, prevCh)
+	d.attr.ChargeWaitBlamed(telemetry.PhaseChanWait, xferStart-at, prevCh, telemetry.PhaseXfer)
 	d.attr.Charge(telemetry.PhaseXfer, d.Lat.XferPage)
-	d.attr.ChargeBlamed(telemetry.PhaseLUNWait, progStart-xferEnd, prevLUN)
+	d.attr.ChargeWaitBlamed(telemetry.PhaseLUNWait, progStart-xferEnd, prevLUN, lunBind)
 	d.attr.Charge(telemetry.PhaseNANDProgram, d.Lat.ProgramPage)
 	d.tr.Span(telemetry.ProcFlashChan, int32(ch), "flash", "xfer_in", xferStart, xferEnd)
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "program", progStart, done, "block", int64(block))
@@ -541,7 +555,7 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 		return at, ErrWornOut
 	}
 	lun := d.Geom.LUNOfBlock(block)
-	prevLUN := d.claimLUN(lun)
+	prevLUN, lunBind := d.claimLUN(lun, telemetry.PhaseNANDErase)
 	eraseStart, done := d.luns[lun].Acquire(at, d.Lat.EraseBlock)
 	d.lunBusy[lun] += d.Lat.EraseBlock
 	d.counts.Erases++
@@ -560,7 +574,7 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 	b.eraseCount++
 	b.nextPage = 0
 	b.sealed = false
-	d.attr.ChargeBlamed(telemetry.PhaseLUNWait, eraseStart-at, prevLUN)
+	d.attr.ChargeWaitBlamed(telemetry.PhaseLUNWait, eraseStart-at, prevLUN, lunBind)
 	d.attr.Charge(telemetry.PhaseNANDErase, d.Lat.EraseBlock)
 	d.fl.Record(at, telemetry.FlightErase, int32(block), "", int64(b.eraseCount))
 	d.tr.SpanArg(telemetry.ProcFlashLUN, int32(lun), "flash", "erase", eraseStart, done, "block", int64(block))

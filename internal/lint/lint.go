@@ -102,6 +102,7 @@ var simCoreSuffixes = []string{
 	"internal/hostftl",
 	"internal/core",
 	"internal/telemetry",
+	"internal/telemetry/critpath",
 	"internal/workload",
 	"internal/placement",
 	"internal/offload",

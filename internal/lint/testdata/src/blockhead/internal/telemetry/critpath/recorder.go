@@ -1,0 +1,61 @@
+// Package critpath fixtures: the critical-path recorder's contracts. The
+// package is sim-core (simCoreSuffixes), so the determinism and tickunit
+// rules apply here; the Recorder type carries //simlint:nilsafe, so its
+// exported pointer-receiver methods are nilguard-contracted exactly like
+// the real recorder's.
+package critpath
+
+import (
+	"sort"
+	"time"
+)
+
+// Recorder mirrors the per-IO path recorder: the nil *Recorder is a valid
+// no-op on every method.
+//
+//simlint:nilsafe
+type Recorder struct {
+	ios   uint64
+	paths map[string]int64
+}
+
+// IOs is guarded — the hot path on a detached recorder is a no-op.
+func (r *Recorder) IOs() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.ios
+}
+
+// Active tests the receiver in its return expression — compliant.
+func (r *Recorder) Active() bool { return r != nil && r.ios > 0 }
+
+// Violations dereferences the receiver with no guard.
+func (r *Recorder) Violations() uint64 { // want `\[nilguard\] exported method \(\*Recorder\)\.Violations`
+	return r.ios
+}
+
+// dumpOrderLeak renders the per-phase path table in map order — the
+// report section and /critpath.json must never do this.
+func dumpOrderLeak(paths map[string]int64) []string {
+	var out []string
+	for name := range paths { // want `\[determinism\] iteration over map paths`
+		out = append(out, name)
+	}
+	return out
+}
+
+// dumpSorted is the canonical fix: collect, sort, then render.
+func dumpSorted(paths map[string]int64) []string {
+	names := make([]string, 0, len(paths))
+	for name := range paths {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// wallDeadline smuggles a wall-clock duration into tick arithmetic.
+func wallDeadline(ticks int64) int64 {
+	return ticks + int64(5*time.Millisecond) // want `\[tickunit\] time.Duration in a sim-core package`
+}

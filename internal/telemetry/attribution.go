@@ -184,6 +184,11 @@ type AttrSink struct {
 	Windows *WindowSet
 	SLO     *SLOEngine
 
+	// Path, if set, receives the structured per-charge feed a critical-path
+	// recorder consumes (see PathSink). Implementations must not allocate;
+	// the sink forwards only while a record is open.
+	Path PathSink
+
 	// OnComplete, if set, observes every completed IO: op kind, exact
 	// end-to-end latency, and the per-phase charges. Test hook for the
 	// sum(phases) == total invariant; may allocate, so leave nil outside
@@ -215,12 +220,29 @@ func (s *AttrSink) Begin(op OpKind, start sim.Time) {
 // charge with no explicit culprit (see ChargeBlamed) blames the record's
 // own tenant, so blame conservation holds by construction.
 func (s *AttrSink) Charge(p Phase, d sim.Time) {
-	if s == nil || !s.active || s.suspended > 0 || d <= 0 {
+	if s == nil || !s.active || d <= 0 {
+		return
+	}
+	if s.suspended > 0 {
+		s.overlap(p, d)
 		return
 	}
 	s.cur[p] += d
 	if blamePhases[p] {
 		s.curBlame[s.tenant] += d
+	}
+	if s.Path != nil {
+		s.Path.Segment(p, d)
+	}
+}
+
+// overlap forwards a charge that arrived while suspended to the path sink.
+// Only depth-1 charges are forwarded: work at deeper suspension levels is
+// already represented by the enclosing composite charge one level up, so
+// forwarding it too would double-count the same wall-clock interval.
+func (s *AttrSink) overlap(p Phase, d sim.Time) {
+	if s.suspended == 1 && s.Path != nil {
+		s.Path.Overlap(p, d)
 	}
 }
 
@@ -248,6 +270,48 @@ func (s *AttrSink) Reclassify(from, to Phase, d sim.Time) {
 			s.curBlame[s.tenant] -= d
 		}
 	}
+	if s.Path != nil {
+		s.Path.Reassign(from, to, d)
+	}
+}
+
+// Refund removes up to d ticks of already-charged time from phase p of the
+// active record, returning the amount actually removed. Device layers call
+// it when a counterfactual timing knob acknowledges the IO to the host
+// before the underlying work finishes (the ZNS write-pointer early-ack in
+// internal/zns): the host-visible latency shrinks, so the charged phases
+// must shrink by exactly the same amount to keep sum(phases) == total.
+// When p is a blame phase the refunded ticks are deducted from the
+// record's blame charges too — from the record's own tenant first, then
+// from culprits in ID order — so blame conservation holds exactly.
+func (s *AttrSink) Refund(p Phase, d sim.Time) sim.Time {
+	if s == nil || !s.active || s.suspended > 0 || d <= 0 {
+		return 0
+	}
+	if d > s.cur[p] {
+		d = s.cur[p]
+	}
+	if d <= 0 {
+		return 0
+	}
+	s.cur[p] -= d
+	if blamePhases[p] {
+		rem := d
+		if take := sim.Min(rem, s.curBlame[s.tenant]); take > 0 {
+			s.curBlame[s.tenant] -= take
+			rem -= take
+		}
+		for c := 0; c < MaxTenants && rem > 0; c++ {
+			if take := sim.Min(rem, s.curBlame[c]); take > 0 {
+				s.curBlame[c] -= take
+				rem -= take
+			}
+		}
+	}
+	if s.Path != nil {
+		s.Path.Refund(p, d)
+	}
+	return d
 }
 
 // Value reports the active record's current charge for phase p (0 if nil
@@ -329,6 +393,9 @@ func (s *AttrSink) End(done sim.Time) {
 		s.blame[s.tenant][c] += s.curBlame[c]
 	}
 	s.Windows.Observe(s.tenant, s.op, done, total)
+	if s.Path != nil {
+		s.Path.EndPath(done)
+	}
 	if s.OnComplete != nil {
 		s.OnComplete(s.op, total, s.cur)
 	}
@@ -339,6 +406,9 @@ func (s *AttrSink) End(done sim.Time) {
 func (s *AttrSink) Drop() {
 	if s == nil {
 		return
+	}
+	if s.active && s.Path != nil {
+		s.Path.DropPath()
 	}
 	s.active = false
 	s.suspended = 0

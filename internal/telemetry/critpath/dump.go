@@ -1,0 +1,189 @@
+package critpath
+
+import (
+	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
+)
+
+// DumpSchema identifies the /critpath.json wire format.
+const DumpSchema = "blockhead/critpath/v1"
+
+// Dump is the JSON shape of a critical-path export: per-op path/total
+// decompositions plus the canonical what-if predictions. All collections
+// are ordered slices (never maps), so the bytes are deterministic.
+type Dump struct {
+	Schema     string       `json:"schema"`
+	IOs        uint64       `json:"ios"`
+	Violations uint64       `json:"violations"`
+	Sampled    int          `json:"sampled"`
+	Stride     uint64       `json:"stride"`
+	Ops        []OpDump     `json:"ops"`
+	WhatIf     []Prediction `json:"whatif"`
+}
+
+// OpDump is one op kind's critical-path decomposition.
+type OpDump struct {
+	Op     string          `json:"op"`
+	Count  uint64          `json:"count"`
+	MeanUs float64         `json:"mean_us"`
+	Phases []PhasePathDump `json:"phases"`
+}
+
+// PhasePathDump is one phase of an op's decomposition. PathUs is the mean
+// per-IO time this phase spent *on* the critical path (bounding
+// completion); TotalUs adds the off-path ticks — the same phase's work
+// that ran concurrently under a composite stall. PathFrac is the phase's
+// share of the op's end-to-end latency. Binds splits a wait phase's
+// on-path ticks by the service phase waited behind.
+type PhasePathDump struct {
+	Name     string     `json:"name"`
+	PathUs   float64    `json:"path_us"`
+	TotalUs  float64    `json:"total_us"`
+	PathFrac float64    `json:"path_frac"`
+	Binds    []BindDump `json:"binds,omitempty"`
+}
+
+// BindDump is one bound slice of a wait phase.
+type BindDump struct {
+	Name string  `json:"name"`
+	Us   float64 `json:"us"`
+}
+
+// Dump converts the snapshot to its JSON shape. opts selects the replay
+// model for the canonical what-if predictions; ops with no completed IOs
+// are omitted.
+func (s *Snapshot) Dump(opts PredictOpts) Dump {
+	d := Dump{
+		Schema:     DumpSchema,
+		IOs:        s.IOs,
+		Violations: s.Violations,
+		Sampled:    len(s.Paths),
+		Stride:     s.Stride,
+		Ops:        []OpDump{},
+		WhatIf:     []Prediction{},
+	}
+	for k := 0; k < telemetry.NumOps; k++ {
+		a := s.Ops[k]
+		if a.Count == 0 {
+			continue
+		}
+		od := OpDump{
+			Op:     telemetry.OpKind(k).String(),
+			Count:  a.Count,
+			MeanUs: (a.TotalSum / sim.Time(a.Count)).Micros(),
+			Phases: []PhasePathDump{},
+		}
+		n := sim.Time(a.Count)
+		for p := 0; p < telemetry.NumPhases; p++ {
+			if a.Path[p] == 0 && a.Off[p] == 0 {
+				continue
+			}
+			pd := PhasePathDump{
+				Name:    telemetry.Phase(p).String(),
+				PathUs:  (a.Path[p] / n).Micros(),
+				TotalUs: ((a.Path[p] + a.Off[p]) / n).Micros(),
+			}
+			if a.TotalSum > 0 {
+				pd.PathFrac = float64(a.Path[p]) / float64(a.TotalSum)
+			}
+			if wi := waitIdx(telemetry.Phase(p)); wi >= 0 {
+				for b := 0; b < NumBinds; b++ {
+					w := a.WaitBy[wi][b]
+					if w == 0 {
+						continue
+					}
+					pd.Binds = append(pd.Binds, BindDump{
+						Name: bindPhase(b).String(),
+						Us:   (w / n).Micros(),
+					})
+				}
+			}
+			od.Phases = append(od.Phases, pd)
+		}
+		d.Ops = append(d.Ops, od)
+	}
+	for _, sc := range Canonical() {
+		d.WhatIf = append(d.WhatIf, s.Predict(sc, opts)...)
+	}
+	return d
+}
+
+// BenchSummary is the critpath block of a core.BenchEntry: the headline
+// invariant counters, the top critical-path phase, and the canonical
+// what-if ratios — enough for benchdiff to pin prediction drift at 0.1%.
+type BenchSummary struct {
+	IOs         uint64        `json:"ios"`
+	Violations  uint64        `json:"violations"`
+	Sampled     int           `json:"sampled"`
+	TopPhase    string        `json:"top_phase"`
+	TopPathFrac float64       `json:"top_path_frac"`
+	WhatIf      []WhatIfBench `json:"whatif"`
+}
+
+// WhatIfBench is one canonical scenario's headline prediction ratios
+// (predicted/base; 1 = no change).
+type WhatIfBench struct {
+	Scenario       string  `json:"scenario"`
+	ReadMeanRatio  float64 `json:"read_mean_ratio"`
+	ReadP99Ratio   float64 `json:"read_p99_ratio"`
+	WriteMeanRatio float64 `json:"write_mean_ratio"`
+	WriteP99Ratio  float64 `json:"write_p99_ratio"`
+}
+
+// Bench summarizes the snapshot for a benchmark entry. The top phase
+// excludes host_queue (admission backlog is a workload property, not a
+// device optimization target) and ranks by on-path ticks summed over ops.
+func (s *Snapshot) Bench(opts PredictOpts) BenchSummary {
+	b := BenchSummary{
+		IOs:        s.IOs,
+		Violations: s.Violations,
+		Sampled:    len(s.Paths),
+	}
+	var totalSum sim.Time
+	var pathSum [telemetry.NumPhases]sim.Time
+	for k := 0; k < telemetry.NumOps; k++ {
+		totalSum += s.Ops[k].TotalSum
+		for p := 0; p < telemetry.NumPhases; p++ {
+			pathSum[p] += s.Ops[k].Path[p]
+		}
+	}
+	top, topTicks := telemetry.Phase(-1), sim.Time(0)
+	for p := 0; p < telemetry.NumPhases; p++ {
+		if telemetry.Phase(p) == telemetry.PhaseHostQueue {
+			continue
+		}
+		if pathSum[p] > topTicks {
+			top, topTicks = telemetry.Phase(p), pathSum[p]
+		}
+	}
+	if top >= 0 {
+		b.TopPhase = top.String()
+		if totalSum > 0 {
+			b.TopPathFrac = float64(topTicks) / float64(totalSum)
+		}
+	}
+	for _, sc := range Canonical() {
+		wb := WhatIfBench{Scenario: sc.Name, ReadMeanRatio: 1, ReadP99Ratio: 1, WriteMeanRatio: 1, WriteP99Ratio: 1}
+		for _, p := range s.Predict(sc, PredictOpts{ErasesAreResets: opts.ErasesAreResets}) {
+			switch p.Op {
+			case "read":
+				wb.ReadMeanRatio, wb.ReadP99Ratio = p.MeanRatio, p.P99Ratio
+			case "write":
+				wb.WriteMeanRatio, wb.WriteP99Ratio = p.MeanRatio, p.P99Ratio
+			}
+		}
+		b.WhatIf = append(b.WhatIf, wb)
+	}
+	return b
+}
+
+// WhatIfRatio reports one scenario's ratio column from a BenchSummary
+// (1 when absent) — the lookup benchdiff's metric getters use.
+func (b BenchSummary) WhatIfRatio(scenario string, col func(WhatIfBench) float64) float64 {
+	for _, w := range b.WhatIf {
+		if w.Scenario == scenario {
+			return col(w)
+		}
+	}
+	return 1
+}

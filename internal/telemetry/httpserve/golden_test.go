@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"blockhead/internal/sim"
+	"blockhead/internal/telemetry/critpath"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -19,6 +20,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // produced for a fixed probe. Regenerate with `go test ./... -update`.
 func TestGoldenSchemas(t *testing.T) {
 	p := testProbe()
+	cs := critpath.FromSink(p.Attribution()).Snapshot()
 	for _, tc := range []struct {
 		name   string
 		golden string
@@ -29,6 +31,7 @@ func TestGoldenSchemas(t *testing.T) {
 		{"heatmap", "heatmap.golden.json", p.HeatDump(4 * sim.Millisecond)},
 		{"flight", "flight.golden.json", p.Flight().Dump()},
 		{"tenants", "tenants.golden.json", p.Attribution().TenantsDump()},
+		{"critpath", "critpath.golden.json", cs.Dump(critpath.PredictOpts{})},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			got, err := json.MarshalIndent(tc.dump, "", "  ")

@@ -21,6 +21,7 @@ import (
 
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/critpath"
 )
 
 //go:embed dashboard.html
@@ -60,6 +61,7 @@ type Server struct {
 	heat    []byte // marshaled telemetry.HeatmapDump
 	flight  []byte // marshaled telemetry.FlightDump
 	tenants []byte // marshaled telemetry.TenantsDump
+	crit    []byte // marshaled critpath.Dump
 	sample  []byte // marshaled sampleEvent (latest SSE payload)
 
 	subMu sync.Mutex
@@ -115,6 +117,7 @@ func New(probe *telemetry.Probe, opts Options) (*Server, error) {
 	mux.HandleFunc("/heatmap.json", s.handleHeatmap)
 	mux.HandleFunc("/flight.json", s.handleFlight)
 	mux.HandleFunc("/tenants.json", s.handleTenants)
+	mux.HandleFunc("/critpath.json", s.handleCritPath)
 	mux.HandleFunc("/events", s.handleEvents)
 	s.srv = &http.Server{Handler: mux}
 	s.Publish(0)
@@ -187,6 +190,22 @@ func (s *Server) Publish(at sim.Time) {
 	if err != nil {
 		tenants = []byte("{}")
 	}
+	// The live view can't know which stack is driving the shared sink, so
+	// it replays what-ifs under the conventional model (no erase/reset
+	// coupling); the report sections carry the stack-correct predictions.
+	// Experiments Drain the recorder when they capture their report
+	// section, so an empty live snapshot usually means "between recording
+	// windows" — fall back to the last completed window rather than
+	// blanking the panel.
+	rec := critpath.FromSink(s.probe.Attribution())
+	cs := rec.Snapshot()
+	if cs.IOs == 0 {
+		cs = rec.LastDrained()
+	}
+	crit, err := json.Marshal(cs.Dump(critpath.PredictOpts{}))
+	if err != nil {
+		crit = []byte("{}")
+	}
 
 	s.mu.Lock()
 	s.seq++
@@ -200,7 +219,7 @@ func (s *Server) Publish(at sim.Time) {
 		sample = []byte("{}")
 	}
 	s.metrics, s.attr, s.sample = metrics, attr, sample
-	s.heat, s.flight, s.tenants = heat, flight, tenants
+	s.heat, s.flight, s.tenants, s.crit = heat, flight, tenants, crit
 	s.lastPub = time.Now() //simlint:allow determinism wall-clock bookkeeping for the publish throttle; it never feeds simulation results
 	s.mu.Unlock()
 
@@ -266,6 +285,13 @@ func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	body := s.tenants
+	s.mu.Unlock()
+	s.serveJSON(w, body)
+}
+
+func (s *Server) handleCritPath(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.crit
 	s.mu.Unlock()
 	s.serveJSON(w, body)
 }

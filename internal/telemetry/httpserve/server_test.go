@@ -13,6 +13,7 @@ import (
 
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/critpath"
 )
 
 // testProbe builds a probe with deterministic contents: two counters, one
@@ -28,6 +29,7 @@ func testProbe() *telemetry.Probe {
 	p.Metrics.Tick(2 * sim.Millisecond)
 
 	a := p.Attr
+	critpath.Attach(a, critpath.Options{}) // /critpath.json source
 	a.SetTenantName(1, "web")
 	a.SetTenantName(2, "churn")
 	ws := telemetry.NewWindowSet(telemetry.WindowCfg{Width: sim.Millisecond, Keep: 4})
@@ -176,6 +178,20 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("tenants.json slo = %+v", td.SLO)
 	}
 
+	var cd critpath.Dump
+	if err := json.Unmarshal(get(t, s.URL()+"/critpath.json"), &cd); err != nil {
+		t.Fatalf("critpath.json: %v", err)
+	}
+	if cd.Schema != critpath.DumpSchema {
+		t.Fatalf("critpath.json schema = %q", cd.Schema)
+	}
+	if cd.IOs != 3 || cd.Violations != 0 || cd.Sampled != 3 {
+		t.Fatalf("critpath.json = ios %d violations %d sampled %d", cd.IOs, cd.Violations, cd.Sampled)
+	}
+	if len(cd.WhatIf) == 0 {
+		t.Fatalf("critpath.json carries no what-if predictions")
+	}
+
 	if !strings.Contains(string(get(t, s.URL()+"/")), "blockhead — live telemetry") {
 		t.Fatal("dashboard HTML not served at /")
 	}
@@ -201,7 +217,7 @@ func TestConcurrentPublishAndServe(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 15; i++ {
 				for _, ep := range []string{
-					"/metrics.json", "/attribution.json", "/heatmap.json", "/flight.json", "/tenants.json", "/",
+					"/metrics.json", "/attribution.json", "/heatmap.json", "/flight.json", "/tenants.json", "/critpath.json", "/",
 				} {
 					resp, err := http.Get(s.URL() + ep)
 					if err != nil {

@@ -1,0 +1,40 @@
+package telemetry
+
+import "blockhead/internal/sim"
+
+// PathSink receives a structured feed of the AttrSink's per-IO charges so a
+// higher layer (internal/telemetry/critpath) can reconstruct each IO's
+// critical path without re-instrumenting the device models. The AttrSink
+// forwards every event of the active record's lifetime:
+//
+//   - BeginPath / EndPath / DropPath bracket one measured IO, mirroring
+//     BeginTenant / End / Drop.
+//   - Segment is an on-path charge: ticks that bound the IO's completion
+//     (the charge landed while the sink was not suspended).
+//   - WaitSegment is an on-path charge to a resource-wait phase, annotated
+//     with the service phase of the occupant the IO waited behind (bind),
+//     so a counterfactual engine knows which cost the wait tracks. bind < 0
+//     means the blocker is unknown.
+//   - Overlap is an off-path charge: ticks recorded while the sink was
+//     suspended at depth 1 (parallel fan-out whose wall-clock the enclosing
+//     layer charges as one composite phase instead). Charges at deeper
+//     suspension levels are not forwarded: their time is already represented
+//     by the enclosing composite charge, which itself arrives as an Overlap
+//     or a Segment one level up.
+//   - Reassign mirrors Reclassify (from -> to, sum-preserving).
+//   - Refund mirrors AttrSink.Refund: ticks removed from the record because
+//     the device acknowledged the IO early (counterfactual timing knobs).
+//
+// Implementations must not allocate on any call: these hooks sit on the
+// simulator's per-IO hot path. The interface lives here (not in critpath)
+// so the telemetry package never imports its own consumers.
+type PathSink interface {
+	BeginPath(op OpKind, tenant TenantID, start sim.Time)
+	Segment(p Phase, d sim.Time)
+	WaitSegment(p Phase, d sim.Time, bind Phase)
+	Overlap(p Phase, d sim.Time)
+	Reassign(from, to Phase, d sim.Time)
+	Refund(p Phase, d sim.Time)
+	EndPath(done sim.Time)
+	DropPath()
+}

@@ -123,6 +123,9 @@ func (s *AttrSink) BeginTenant(op OpKind, t TenantID, start sim.Time) {
 	s.cur = [NumPhases]sim.Time{}
 	s.tenant = clampTenant(t)
 	s.curBlame = [MaxTenants]sim.Time{}
+	if s.Path != nil {
+		s.Path.BeginPath(op, s.tenant, start)
+	}
 }
 
 // ChargeBlamed is Charge with an explicit culprit: d of the active IO's
@@ -130,7 +133,11 @@ func (s *AttrSink) BeginTenant(op OpKind, t TenantID, start sim.Time) {
 // blamed on culprit. SelfTenant (or any out-of-range ID) blames the
 // record's own tenant. Same no-op conditions as Charge.
 func (s *AttrSink) ChargeBlamed(p Phase, d sim.Time, culprit TenantID) {
-	if s == nil || !s.active || s.suspended > 0 || d <= 0 {
+	if s == nil || !s.active || d <= 0 {
+		return
+	}
+	if s.suspended > 0 {
+		s.overlap(p, d)
 		return
 	}
 	s.cur[p] += d
@@ -139,6 +146,36 @@ func (s *AttrSink) ChargeBlamed(p Phase, d sim.Time, culprit TenantID) {
 			culprit = s.tenant
 		}
 		s.curBlame[culprit] += d
+	}
+	if s.Path != nil {
+		s.Path.Segment(p, d)
+	}
+}
+
+// ChargeWaitBlamed is ChargeBlamed for resource-wait phases (chan_wait,
+// lun_wait), additionally telling the attached path sink which service
+// phase the blocking occupant was running (bind; < 0 when unknown, e.g. a
+// wait behind pre-instrumentation history). Attribution and blame
+// aggregates are identical to ChargeBlamed — only the critical-path feed
+// sees the bind, which a what-if engine needs to scale waits with the cost
+// they queue behind.
+func (s *AttrSink) ChargeWaitBlamed(p Phase, d sim.Time, culprit TenantID, bind Phase) {
+	if s == nil || !s.active || d <= 0 {
+		return
+	}
+	if s.suspended > 0 {
+		s.overlap(p, d)
+		return
+	}
+	s.cur[p] += d
+	if blamePhases[p] {
+		if culprit < 0 || culprit >= MaxTenants {
+			culprit = s.tenant
+		}
+		s.curBlame[culprit] += d
+	}
+	if s.Path != nil {
+		s.Path.WaitSegment(p, d, bind)
 	}
 }
 

@@ -111,6 +111,19 @@ type Config struct {
 	// pointers after a power loss. Costs O(total pages) of flash-side
 	// bookkeeping; leave off for pure performance runs.
 	Recovery bool
+
+	// ScaleWPSerial arms the write-pointer early-ack counterfactual: the
+	// host observes only WPSerialScale of each write's serialization
+	// behind the same block's previous program (0 = serialization-free,
+	// as if the device buffered appends; 1 = unchanged). The flash
+	// schedule itself is untouched — cells stay busy to their real
+	// completion — only the host-visible ack moves earlier, which is the
+	// ground truth the critpath what-if engine's "wp_serial removed"
+	// prediction is validated against. Deliberately independent of
+	// telemetry: the cut is computed from device state alone, so a run
+	// produces identical timings with or without a probe attached.
+	ScaleWPSerial bool
+	WPSerialScale float64
 }
 
 type zone struct {
@@ -160,6 +173,11 @@ type Device struct {
 	// writer — whoever filled the zone caused the need to wipe it. Allocated
 	// lazily by SetProbe alongside blockDone.
 	writtenBy [][telemetry.MaxTenants]int32
+
+	// wpDone is blockDone's telemetry-free twin, allocated by New only when
+	// ScaleWPSerial is armed: the early-ack cut must not depend on whether
+	// a probe is attached, so it keeps its own per-block completion clock.
+	wpDone []sim.Time
 }
 
 // numZoneStates sizes the per-target-state transition counter array.
@@ -213,6 +231,14 @@ func New(cfg Config) (*Device, error) {
 	}
 	if cfg.StoreData {
 		d.data = make(map[int64][]byte)
+	}
+	if cfg.ScaleWPSerial {
+		if cfg.WPSerialScale < 0 || cfg.WPSerialScale > 1 {
+			return nil, fmt.Errorf("zns: WPSerialScale %v out of [0,1]", cfg.WPSerialScale)
+		}
+		if cfg.WPSerialScale != 1 {
+			d.wpDone = make([]sim.Time, cfg.Geom.TotalBlocks())
+		}
 	}
 	return d, nil
 }
@@ -605,6 +631,36 @@ func (d *Device) write(at sim.Time, z int, data []byte) (lba int64, done sim.Tim
 	}
 	if d.writtenBy != nil {
 		d.writtenBy[z][clampOwner(d.attr.Worker())]++
+	}
+	if d.wpDone != nil {
+		// Early-ack counterfactual (ScaleWPSerial): the host sees only
+		// WPSerialScale of the wait behind this block's previous program.
+		// The cut is bounded by the op's total queueing delay (everything
+		// except the transfer and the program itself) and computed purely
+		// from device state — no telemetry reads — so timing is identical
+		// with and without a probe. The flash schedule keeps the real
+		// completion; only the returned ack moves.
+		realDone := done
+		if serial := d.wpDone[block] - at; serial > 0 {
+			if wait := realDone - at - d.cfg.Lat.XferPage - d.cfg.Lat.ProgramPage; serial > wait {
+				serial = wait
+			}
+			if cut := serial - sim.Time(float64(serial)*d.cfg.WPSerialScale); cut > 0 {
+				// Keep attribution in step with the earlier host-visible
+				// completion: remove the same ticks from the record,
+				// serialization first, then the waits it was carved from.
+				rem := cut
+				rem -= d.attr.Refund(telemetry.PhaseWPSerial, rem)
+				if rem > 0 {
+					rem -= d.attr.Refund(telemetry.PhaseLUNWait, rem)
+				}
+				if rem > 0 {
+					d.attr.Refund(telemetry.PhaseChanWait, rem)
+				}
+				done = realDone - cut
+			}
+		}
+		d.wpDone[block] = realDone
 	}
 	d.tr.Span(telemetry.ProcZone, int32(z), "zns", "write", at, done)
 	zn.wp++
