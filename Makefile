@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign slo-campaign whatif-campaign update-golden clean
+.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign slo-campaign whatif-campaign explain-campaign update-golden clean
 
 all: check
 
-check: vet build lint test bench-telemetry fault-campaign slo-campaign whatif-campaign
+check: vet build lint test bench-telemetry fault-campaign slo-campaign whatif-campaign explain-campaign
 
 vet:
 	$(GO) vet ./...
@@ -33,7 +33,7 @@ test:
 # and the flight recorder) is a nil no-op — 0 allocs/op. A regression here
 # slows every simulation.
 bench-telemetry:
-	$(GO) test -run='^$$' -bench=ProbeDisabled -benchmem ./internal/telemetry/ ./internal/telemetry/critpath/ ./internal/zns/ ./internal/fault/
+	$(GO) test -run='^$$' -bench=ProbeDisabled -benchmem ./internal/telemetry/ ./internal/telemetry/critpath/ ./internal/telemetry/exemplar/ ./internal/zns/ ./internal/fault/
 
 # Regenerate the pinned JSON schemas served by /metrics.json and
 # /attribution.json after a deliberate schema change.
@@ -53,6 +53,7 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff -threshold 0.25 BENCH_attribution.json /tmp/blockhead-bench-new.json
 	$(GO) run ./cmd/benchdiff -threshold 0.001 BENCH_attribution.json BENCH_faults.json
 	$(GO) run ./cmd/benchdiff -threshold 0.001 BENCH_critpath.json /tmp/blockhead-bench-new.json
+	$(GO) run ./cmd/benchdiff -threshold 0.001 BENCH_exemplars.json /tmp/blockhead-bench-new.json
 	$(GO) run ./cmd/znsbench -slo -run E14 -bench-json /tmp/blockhead-bench-slo.json > /dev/null
 	$(GO) run ./cmd/benchdiff -threshold 0.25 BENCH_slo.json /tmp/blockhead-bench-slo.json
 
@@ -80,6 +81,15 @@ whatif-campaign:
 	$(GO) run ./cmd/znsbench -quick -whatif zone_reset:0,wp_serial:0 -run E4 > /tmp/blockhead-whatif-a.txt
 	$(GO) run ./cmd/znsbench -quick -whatif zone_reset:0,wp_serial:0 -run E4 > /tmp/blockhead-whatif-b.txt
 	cmp /tmp/blockhead-whatif-a.txt /tmp/blockhead-whatif-b.txt
+
+# The explain campaign's acceptance bar (docs/observability.md): the
+# forensic replay of one measured IO — timeline, blame, device state, and
+# what-if verdicts — reproduces byte-for-byte across two runs, because the
+# narrative is a pure function of (seed, experiment, sequence number).
+explain-campaign:
+	$(GO) run ./cmd/znsbench -quick -explain E6:926 > /tmp/blockhead-explain-a.txt
+	$(GO) run ./cmd/znsbench -quick -explain E6:926 > /tmp/blockhead-explain-b.txt
+	cmp /tmp/blockhead-explain-a.txt /tmp/blockhead-explain-b.txt
 
 # Short fuzz pass over the trace decoder.
 fuzz:

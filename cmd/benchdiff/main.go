@@ -13,7 +13,9 @@
 // The critical-path what-if ratios count as regressed when they drift in
 // either direction — a prediction is pinned, not minimized — which is how
 // `make bench-compare` gates the what-if engine at 0.1% on
-// BENCH_critpath.json.
+// BENCH_critpath.json. The exemplar columns (exem_*) are pinned the same
+// way against BENCH_exemplars.json: the worst-IO set is a deterministic
+// function of the seeded run.
 // Metrics absent from the baseline (zero) are skipped. Entries present in
 // only one file are never silently dropped: added entries are listed so
 // they can be folded into the baseline, and entries missing from the new
@@ -31,6 +33,7 @@ import (
 
 	"blockhead/internal/core"
 	"blockhead/internal/telemetry/critpath"
+	"blockhead/internal/telemetry/exemplar"
 )
 
 const schema = "blockhead/bench/v1"
@@ -67,6 +70,26 @@ var metrics = []metric{
 		}
 		return e.CritPath.TopPathFrac
 	}},
+	// The exemplar columns are pinned (symmetric): the worst-IO set is a
+	// deterministic function of the seeded run, so any drift — faster OR
+	// slower — means the capture layer or the simulation changed.
+	{name: "exem_ios", symmetric: true, get: exemCol(func(b exemplar.BenchSummary) float64 { return float64(b.IOs) })},
+	{name: "exem_captured", symmetric: true, get: exemCol(func(b exemplar.BenchSummary) float64 { return float64(b.Captured) })},
+	{name: "exem_flagged", symmetric: true, get: exemCol(func(b exemplar.BenchSummary) float64 { return float64(b.Flagged) })},
+	{name: "exem_worst_read_us", symmetric: true, get: exemCol(func(b exemplar.BenchSummary) float64 { return b.WorstReadUs })},
+	{name: "exem_worst_write_us", symmetric: true, get: exemCol(func(b exemplar.BenchSummary) float64 { return b.WorstWriteUs })},
+	{name: "exem_sum_top_us", symmetric: true, get: exemCol(func(b exemplar.BenchSummary) float64 { return b.SumTopUs })},
+}
+
+// exemCol pulls one exemplar bench column (0 when the entry predates
+// exemplar capture, so old baselines compare as "no baseline").
+func exemCol(get func(exemplar.BenchSummary) float64) func(core.BenchEntry) float64 {
+	return func(e core.BenchEntry) float64 {
+		if e.Exemplars == nil {
+			return 0
+		}
+		return get(*e.Exemplars)
+	}
 }
 
 // critRatio pulls one canonical what-if ratio column out of the critpath

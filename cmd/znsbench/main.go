@@ -17,6 +17,7 @@
 //	znsbench -run E4,E6 -bench-json BENCH.json
 //	znsbench -slo -run E14 -bench-json BENCH_slo.json  # per-tenant SLO run
 //	znsbench -run E4 -whatif nand_program:0.5  # counterfactual ground truth
+//	znsbench -explain E6:512          # per-IO forensic replay (tick-by-tick)
 //	znsbench -cpuprofile cpu.pprof    # profile the simulator itself
 //
 // -trace-out writes Chrome trace-event JSON (open in chrome://tracing or
@@ -40,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,8 +70,14 @@ func main() {
 		faults      = flag.String("faults", "", "fault profile for the fault-campaign experiment (E13); implies running E13")
 		slo         = flag.Bool("slo", false, "run the per-tenant SLO experiment (E14); implies adding E14 to -run")
 		whatif      = flag.String("whatif", "", "run under counterfactual phase scalings, e.g. nand_program:0.5 or zone_reset:0,wp_serial:0 — the ground truth the what-if engine predicts")
+		explain     = flag.String("explain", "", "replay one measured IO with tick-by-tick forensics, e.g. E6:512 (experiment:sequence from a 'slowest IOs' report section); prints the annotated narrative and exits")
 	)
 	flag.Parse()
+
+	if err := core.CheckRegistry(); err != nil {
+		fmt.Fprintln(os.Stderr, "znsbench:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, e := range core.All() {
@@ -108,6 +116,20 @@ func main() {
 				*faults, strings.Join(fault.ProfileNames(), ", "))
 			os.Exit(2)
 		}
+	}
+	if *explain != "" {
+		id, seq, err := parseExplain(*explain)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "znsbench:", err)
+			os.Exit(2)
+		}
+		transcript, err := core.Explain(cfg, id, seq)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "znsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(transcript)
+		return
 	}
 	if *metricsOut != "" || *traceOut != "" || *traceText != "" || *serve != "" {
 		cfg.Probe = telemetry.NewProbe(telemetry.Options{
@@ -197,6 +219,20 @@ func main() {
 		<-sig
 		server.Close()
 	}
+}
+
+// parseExplain splits an -explain target "E6:512" into its experiment ID
+// and measured-IO sequence number.
+func parseExplain(spec string) (string, uint64, error) {
+	id, seqStr, ok := strings.Cut(spec, ":")
+	if !ok || id == "" || seqStr == "" {
+		return "", 0, fmt.Errorf("explain: want <experiment>:<seq> (e.g. E6:512), got %q", spec)
+	}
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("explain: bad sequence number %q: %v", seqStr, err)
+	}
+	return id, seq, nil
 }
 
 // benchFile is the -bench-json schema, committed as BENCH_*.json to track

@@ -8,6 +8,7 @@ import (
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
 	"blockhead/internal/telemetry/critpath"
+	"blockhead/internal/telemetry/exemplar"
 	"blockhead/internal/workload"
 	"blockhead/internal/zns"
 )
@@ -43,6 +44,10 @@ type E4Result struct {
 	// selects the stack's replay model (zoned: erases are resets).
 	Crit     critpath.Snapshot
 	CritOpts critpath.PredictOpts
+	// Exem is the drained exemplar reservoir over the same window (the
+	// slowest IOs with full forensics); ExemNames are the tenant labels.
+	Exem      exemplar.Snapshot
+	ExemNames [telemetry.MaxTenants]string
 	// Device is the end-of-run device snapshot (wear, zone census, audit).
 	Device DeviceState
 }
@@ -57,6 +62,8 @@ func E4Conventional(cfg Config) (E4Result, error) {
 	}
 	probe := attrProbe(cfg)
 	dev.SetProbe(probe)
+	exemplarArm(cfg, probe, "conventional (OP 7%)", critpath.PredictOpts{},
+		convDevSnap(dev, e4Geometry()))
 	var at sim.Time
 	for lpn := int64(0); lpn < dev.CapacityPages(); lpn++ {
 		if at, err = dev.WritePage(at, lpn, nil); err != nil {
@@ -75,7 +82,8 @@ func E4Conventional(cfg Config) (E4Result, error) {
 	rKeys := workload.NewUniform(src, dev.CapacityPages())
 	dur, warm := e4Duration(cfg)
 	before := probe.Attr.Snapshot()
-	critDrain(probe) // discard prefill/aging paths
+	critDrain(probe)     // discard prefill/aging paths
+	exemplarDrain(probe) // likewise for exemplars
 	res := RunMixed(MixedCfg{
 		Writers: 4,
 		Write: func(t sim.Time) (sim.Time, error) {
@@ -107,6 +115,8 @@ func E4Conventional(cfg Config) (E4Result, error) {
 		Attr:         probe.Attr.Snapshot().Delta(before),
 		Crit:         critDrain(probe),
 		CritOpts:     critpath.PredictOpts{},
+		Exem:         exemplarDrain(probe),
+		ExemNames:    exemplarNames(probe),
 		Device:       DeviceState{Name: "conventional (OP 7%)", Wear: dev.Flash().Wear()},
 	}, nil
 }
@@ -124,6 +134,9 @@ func E4ZNS(cfg Config) (E4Result, error) {
 	}
 	probe := attrProbe(cfg)
 	dev.SetProbe(probe)
+	exemplarArm(cfg, probe, "zns (host-scheduled resets)",
+		critpath.PredictOpts{ErasesAreResets: true},
+		znsDevSnap(dev, e4Geometry(), rawReclaim(dev)))
 	aud := dev.AttachAuditor()
 	nz := dev.NumZones()
 	// Pre-fill every zone so reads have targets and reuse requires resets.
@@ -158,7 +171,8 @@ func E4ZNS(cfg Config) (E4Result, error) {
 	}
 	dur, warm := e4Duration(cfg)
 	before := probe.Attr.Snapshot()
-	critDrain(probe) // discard prefill paths
+	critDrain(probe)     // discard prefill paths
+	exemplarDrain(probe) // likewise for exemplars
 	res := RunMixed(MixedCfg{
 		Writers:  4,
 		Write:    func(t sim.Time) (sim.Time, error) { return writeOne(sim.Max(t, at)) },
@@ -202,6 +216,8 @@ func E4ZNS(cfg Config) (E4Result, error) {
 		Attr:         probe.Attr.Snapshot().Delta(before),
 		Crit:         critDrain(probe),
 		CritOpts:     critpath.PredictOpts{ErasesAreResets: true},
+		Exem:         exemplarDrain(probe),
+		ExemNames:    exemplarNames(probe),
 		Device:       deviceState("zns (host-scheduled resets)", dev, aud),
 	}, nil
 }
@@ -239,6 +255,7 @@ func runE4(cfg Config) (Report, error) {
 			fmt.Sprintf("%.0f", e.WriteP99.Micros()))
 		r.AddBreakdown(e.Name, e.Attr)
 		r.AddCrit(cfg, e.Name, e.Crit, e.CritOpts, e.Attr)
+		r.AddExemplars(cfg, e.Name, e.Exem, e.CritOpts, e.ExemNames)
 		r.AddDeviceState(e.Device)
 		r.Bench = append(r.Bench, BenchEntry{
 			Experiment: "E4", Name: e.Name,
@@ -251,6 +268,7 @@ func runE4(cfg Config) (Report, error) {
 			WriteP99Us:  e.WriteP99.Micros(),
 			Attribution: e.Attr.Dump(),
 			CritPath:    critBench(e.Crit, e.CritOpts),
+			Exemplars:   e.Exem.Bench(),
 		})
 	}
 	r.AddNote("throughput ratio (zns/conv): %.2fx; read-mean reduction: %.0f%%; read-p99 ratio: %.2fx",

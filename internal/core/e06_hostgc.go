@@ -9,6 +9,7 @@ import (
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
 	"blockhead/internal/telemetry/critpath"
+	"blockhead/internal/telemetry/exemplar"
 	"blockhead/internal/workload"
 	"blockhead/internal/zns"
 )
@@ -47,6 +48,10 @@ type E6Result struct {
 	// the stack's replay model (zoned: erases are resets).
 	Crit     critpath.Snapshot
 	CritOpts critpath.PredictOpts
+	// Exem is the drained exemplar reservoir over phase B (the slowest IOs
+	// with full forensics); ExemNames are the tenant labels.
+	Exem      exemplar.Snapshot
+	ExemNames [telemetry.MaxTenants]string
 	// Device is the end-of-run device snapshot (wear, zone census, audit).
 	Device DeviceState
 }
@@ -106,7 +111,8 @@ func e6Measure(s e6Stack, cfg Config) (E6Result, error) {
 	// its reclamation as a separate paced stream. The attribution breakdown
 	// covers this phase only — it is the one the tail claims are about.
 	beforeB := s.probe.Attribution().Snapshot()
-	critDrain(s.probe) // discard prefill/phase-A paths
+	critDrain(s.probe)     // discard prefill/phase-A paths
+	exemplarDrain(s.probe) // likewise for exemplars
 	resB := RunMixed(MixedCfg{
 		WriteRate: e6WriteRate, Write: s.write,
 		ReadRate: e6ReadRate, Read: s.read,
@@ -119,6 +125,7 @@ func e6Measure(s e6Stack, cfg Config) (E6Result, error) {
 	}
 	attr := s.probe.Attribution().Snapshot().Delta(beforeB)
 	crit := critDrain(s.probe)
+	exem := exemplarDrain(s.probe)
 	h1, p1 := s.counters()
 	wa := float64(p1-p0) / float64(h1-h0)
 	var ds DeviceState
@@ -132,6 +139,8 @@ func e6Measure(s e6Stack, cfg Config) (E6Result, error) {
 		Attr:         attr,
 		Crit:         crit,
 		CritOpts:     s.critOpts,
+		Exem:         exem,
+		ExemNames:    exemplarNames(s.probe),
 		Device:       ds,
 		Name:         s.name,
 		WritePagesPS: resA.WriteScale,
@@ -155,6 +164,8 @@ func E6Conventional(cfg Config) (E6Result, error) {
 	}
 	probe := attrProbe(cfg)
 	dev.SetProbe(probe)
+	exemplarArm(cfg, probe, "conventional (opaque device GC)", critpath.PredictOpts{},
+		convDevSnap(dev, e6Geometry()))
 	var at sim.Time
 	for lpn := int64(0); lpn < dev.CapacityPages(); lpn++ {
 		if at, err = dev.WritePage(at, lpn, nil); err != nil {
@@ -207,7 +218,7 @@ func E6HostFTL(cfg Config) (E6Result, error) {
 	// plus its fixed reserve floor and frontier headroom).
 	scaleWP, wpScale := wpSerialScale(cfg)
 	dev, err := zns.New(zns.Config{Geom: e6Geometry(),
-		Lat: scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), true),
+		Lat:        scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), true),
 		ZoneBlocks: 1, ScaleWPSerial: scaleWP, WPSerialScale: wpScale})
 	if err != nil {
 		return E6Result{}, err
@@ -225,6 +236,8 @@ func E6HostFTL(cfg Config) (E6Result, error) {
 	}
 	probe := attrProbe(cfg)
 	f.SetProbe(probe)
+	exemplarArm(cfg, probe, "host FTL on ZNS (paced GC + streams)", e6ZonedCritOpts,
+		znsDevSnap(dev, e6Geometry(), hostReclaim(f)))
 	aud := dev.AttachAuditor()
 	var at sim.Time
 	src := workload.NewSource(cfg.Seed)
@@ -300,6 +313,7 @@ func runE6(cfg Config) (Report, error) {
 			fmt.Sprintf("%.0f", e.ReadP999.Micros()))
 		r.AddBreakdown(e.Name, e.Attr)
 		r.AddCrit(cfg, e.Name, e.Crit, e.CritOpts, e.Attr)
+		r.AddExemplars(cfg, e.Name, e.Exem, e.CritOpts, e.ExemNames)
 		r.AddDeviceState(e.Device)
 		r.Bench = append(r.Bench, BenchEntry{
 			Experiment: "E6", Name: e.Name,
@@ -313,6 +327,7 @@ func runE6(cfg Config) (Report, error) {
 			WriteP99Us:  e.WriteP99.Micros(),
 			Attribution: e.Attr.Dump(),
 			CritPath:    critBench(e.Crit, e.CritOpts),
+			Exemplars:   e.Exem.Bench(),
 		})
 	}
 	r.AddNote("tail ratio (p999 conv/host): %.1fx; throughput gain: %.0f%%",

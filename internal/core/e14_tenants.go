@@ -9,6 +9,7 @@ import (
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
 	"blockhead/internal/telemetry/critpath"
+	"blockhead/internal/telemetry/exemplar"
 	"blockhead/internal/workload"
 	"blockhead/internal/zns"
 )
@@ -65,7 +66,12 @@ type E14Result struct {
 	// what-if predictions (who gains if zone resets were free?).
 	Crit     critpath.Snapshot
 	CritOpts critpath.PredictOpts
-	Device   DeviceState
+	// Exem is the drained exemplar reservoir over the measured window (the
+	// slowest IOs per tenant with full forensics); ExemNames are the tenant
+	// labels at drain time.
+	Exem      exemplar.Snapshot
+	ExemNames [telemetry.MaxTenants]string
+	Device    DeviceState
 }
 
 // e14Stack abstracts the two configurations for the shared drive.
@@ -123,7 +129,8 @@ func e14Measure(s e14Stack, cfg Config) (E14Result, error) {
 
 	beforeAttr := sink.Snapshot()
 	beforeTen := sink.TenantSnapshot()
-	critDrain(s.probe) // discard prefill/aging paths
+	critDrain(s.probe)     // discard prefill/aging paths
+	exemplarDrain(s.probe) // likewise for exemplars
 	res := RunMixed(MixedCfg{
 		Streams: []StreamCfg{
 			{Name: "web", Tenant: e14Web, Kind: telemetry.OpRead, Rate: e14WebRate,
@@ -147,13 +154,15 @@ func e14Measure(s e14Stack, cfg Config) (E14Result, error) {
 		return E14Result{}, res.Err
 	}
 	out := E14Result{
-		Name:     s.name,
-		Streams:  res.Streams,
-		Attr:     sink.Snapshot().Delta(beforeAttr),
-		Tenants:  sink.TenantSnapshot().Delta(beforeTen),
-		SLO:      eng.Evaluate(),
-		Crit:     critDrain(s.probe),
-		CritOpts: s.critOpts,
+		Name:      s.name,
+		Streams:   res.Streams,
+		Attr:      sink.Snapshot().Delta(beforeAttr),
+		Tenants:   sink.TenantSnapshot().Delta(beforeTen),
+		SLO:       eng.Evaluate(),
+		Crit:      critDrain(s.probe),
+		CritOpts:  s.critOpts,
+		Exem:      exemplarDrain(s.probe),
+		ExemNames: exemplarNames(s.probe),
 	}
 	if s.device != nil {
 		var err error
@@ -175,6 +184,8 @@ func E14Conventional(cfg Config) (E14Result, error) {
 	}
 	probe := attrProbe(cfg)
 	dev.SetProbe(probe)
+	exemplarArm(cfg, probe, "conventional (opaque device GC)",
+		critpath.PredictOpts{PerTenant: true}, convDevSnap(dev, e6Geometry()))
 	sink := probe.Attribution()
 	src := workload.NewSource(cfg.Seed)
 	var at sim.Time
@@ -229,7 +240,7 @@ func E14Conventional(cfg Config) (E14Result, error) {
 func E14HostFTL(cfg Config) (E14Result, error) {
 	scaleWP, wpScale := wpSerialScale(cfg)
 	dev, err := zns.New(zns.Config{Geom: e6Geometry(),
-		Lat: scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), true),
+		Lat:        scaledLatencies(cfg, flash.LatenciesFor(flash.TLC), true),
 		ZoneBlocks: 1, ScaleWPSerial: scaleWP, WPSerialScale: wpScale})
 	if err != nil {
 		return E14Result{}, err
@@ -247,6 +258,9 @@ func E14HostFTL(cfg Config) (E14Result, error) {
 	}
 	probe := attrProbe(cfg)
 	f.SetProbe(probe)
+	exemplarArm(cfg, probe, "host FTL on ZNS (paced GC + streams)",
+		critpath.PredictOpts{ErasesAreResets: true, PerTenant: true},
+		znsDevSnap(dev, e6Geometry(), hostReclaim(f)))
 	sink := probe.Attribution()
 	aud := dev.AttachAuditor()
 	src := workload.NewSource(cfg.Seed)
@@ -343,6 +357,7 @@ func runE14(cfg Config) (Report, error) {
 		}
 		r.AddBreakdown(e.Name, e.Attr)
 		r.AddCrit(cfg, e.Name, e.Crit, e.CritOpts, e.Attr)
+		r.AddExemplars(cfg, e.Name, e.Exem, e.CritOpts, e.ExemNames)
 		r.AddTenants(e.Name, e.Tenants, e.SLO)
 		r.AddDeviceState(e.Device)
 		for _, st := range e.Streams {
@@ -360,6 +375,7 @@ func runE14(cfg Config) (Report, error) {
 				WriteP99Us:  churnP99(e.Streams),
 				Attribution: e.Attr.Dump(),
 				CritPath:    critBench(e.Crit, e.CritOpts),
+				Exemplars:   e.Exem.Bench(),
 			})
 		}
 	}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE6ReportByteIdentical pins the determinism contract for the E6
+// host-GC experiment now that its report carries "slowest IOs" sections:
+// the worst-K exemplar sets — phase timelines, blame, queued-behind
+// identities, device snapshots, and counterfactual verdicts — must
+// reproduce bit for bit from one seed, for both stacks.
+func TestE6ReportByteIdentical(t *testing.T) {
+	assertReportByteIdentical(t, "E6")
+}
+
+// TestExemplarPhaseSumsExact is the capture layer's acceptance bar: for a
+// seeded E6 run, every report-listed exemplar's phase timeline sums
+// exactly to its end-to-end latency — in both stacks' sections, the
+// flagged ring included. An inexact sum means the reservoir copied a live
+// record instead of the completed one.
+func TestExemplarPhaseSumsExact(t *testing.T) {
+	e, ok := ByID("E6")
+	if !ok {
+		t.Fatal("E6 not registered")
+	}
+	rep, err := e.Run(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exemplars) != 2 {
+		t.Fatalf("E6 report has %d exemplar sections, want one per stack", len(rep.Exemplars))
+	}
+	for _, es := range rep.Exemplars {
+		if es.Snap.Captured() == 0 {
+			t.Fatalf("section %q captured no exemplars", es.Name)
+		}
+		for _, exs := range es.Snap.Tenants {
+			for _, ex := range exs {
+				if got := phaseSum(ex); got != ex.Total {
+					t.Errorf("%s seq=%d: phases sum to %v, end-to-end is %v", es.Name, ex.Seq, got, ex.Total)
+				}
+			}
+		}
+		for _, ex := range es.Snap.Flagged {
+			if got := phaseSum(ex); got != ex.Total {
+				t.Errorf("%s flagged seq=%d: phases sum to %v, end-to-end is %v", es.Name, ex.Seq, got, ex.Total)
+			}
+		}
+	}
+	text := rep.Format()
+	if strings.Contains(text, "WARNING") {
+		t.Errorf("report flags inexact phase sums:\n%s", text)
+	}
+}
+
+// TestExplainByteIdentical pins the forensic replay's determinism: the
+// annotated narrative for one measured IO is a pure function of
+// (seed, experiment, sequence number), byte for byte across runs. One
+// target lands in each stack — the conventional device and the host FTL
+// on ZNS resolve sequence numbers from the same per-run counter.
+func TestExplainByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		seq   uint64
+		stack string
+	}{
+		{926, "conventional (opaque device GC)"},
+		{2640, "host FTL on ZNS (paced GC + streams)"},
+	} {
+		a, err := Explain(quickCfg, "E6", tc.seq)
+		if err != nil {
+			t.Fatalf("E6:%d: %v", tc.seq, err)
+		}
+		b, err := Explain(quickCfg, "E6", tc.seq)
+		if err != nil {
+			t.Fatalf("E6:%d second run: %v", tc.seq, err)
+		}
+		if a != b {
+			t.Errorf("E6:%d transcript differs between runs:\nrun1:\n%s\nrun2:\n%s", tc.seq, a, b)
+		}
+		if !strings.Contains(a, tc.stack) {
+			t.Errorf("E6:%d transcript names stack %q, want %q:\n%s", tc.seq, "?", tc.stack, a)
+		}
+		if !strings.Contains(a, "sum==end-to-end: exact") {
+			t.Errorf("E6:%d transcript does not prove its phase sum:\n%s", tc.seq, a)
+		}
+	}
+}
+
+// TestExplainRejectsBadTargets pins the error paths: unknown experiments
+// and the never-matching sequence number 0 fail up front instead of
+// running a full simulation to no effect.
+func TestExplainRejectsBadTargets(t *testing.T) {
+	if _, err := Explain(quickCfg, "E99", 1); err == nil {
+		t.Error("Explain(E99) succeeded, want unknown-experiment error")
+	}
+	if _, err := Explain(quickCfg, "E6", 0); err == nil {
+		t.Error("Explain(E6:0) succeeded, want 1-based-sequence error")
+	}
+}

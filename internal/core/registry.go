@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckRegistry validates the experiment registry's ID space: every ID must
+// be a letter series plus a positive number ("E4", "X2", "A1"), unique
+// case-insensitively, and each series must be contiguous from 1 — a hole
+// (say E9 gone missing) means a stale -run list or docs reference would
+// fail silently. znsbench runs it at startup; the core tests pin it.
+func CheckRegistry() error {
+	seen := make(map[string]string, len(registry))
+	series := make(map[string][]int)
+	for _, e := range registry {
+		id := strings.ToUpper(e.ID)
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("experiment registry: duplicate ID %q (%q and %q)", e.ID, prev, e.Title)
+		}
+		seen[id] = e.Title
+		i := 0
+		for i < len(id) && (id[i] < '0' || id[i] > '9') {
+			i++
+		}
+		n, err := strconv.Atoi(id[i:])
+		if err != nil || i == 0 || n <= 0 {
+			return fmt.Errorf("experiment registry: malformed ID %q (want <series><number>, e.g. E4)", e.ID)
+		}
+		series[id[:i]] = append(series[id[:i]], n)
+	}
+	// Sorted series order so the first-reported hole is deterministic when
+	// more than one series is broken.
+	names := make([]string, 0, len(series))
+	for s := range series {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		nums := series[s]
+		sort.Ints(nums)
+		for i, n := range nums {
+			if n != i+1 {
+				return fmt.Errorf("experiment registry: series %s has a hole: %s%d missing (have %s%d..%s%d)",
+					s, s, i+1, s, nums[0], s, nums[len(nums)-1])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryIsClean pins the real registry: unique IDs, no numbering
+// holes in any series.
+func TestRegistryIsClean(t *testing.T) {
+	if err := CheckRegistry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckRegistryCatches proves the checker actually fires on the defect
+// classes it documents, using a scratch registry.
+func TestCheckRegistryCatches(t *testing.T) {
+	saved := registry
+	defer func() { registry = saved }()
+
+	cases := []struct {
+		name string
+		ids  []string
+		want string // substring of the error, "" for clean
+	}{
+		{"clean", []string{"E1", "E2", "X1"}, ""},
+		{"duplicate", []string{"E1", "e1"}, "duplicate"},
+		{"hole", []string{"E1", "E3"}, "hole"},
+		{"malformed", []string{"E1", "bogus"}, "malformed"},
+		{"zero", []string{"E0"}, "malformed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			registry = nil
+			for _, id := range tc.ids {
+				registry = append(registry, Experiment{ID: id, Title: id})
+			}
+			err := CheckRegistry()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}

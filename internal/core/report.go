@@ -16,6 +16,7 @@ import (
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
 	"blockhead/internal/telemetry/critpath"
+	"blockhead/internal/telemetry/exemplar"
 	"blockhead/internal/zns"
 )
 
@@ -43,6 +44,19 @@ type Config struct {
 	// the ground truth the what-if engine's predictions are validated
 	// against (make whatif-campaign).
 	Scenario *critpath.Scenario
+	// ExplainSeq, when nonzero, arms per-IO forensics (znsbench -explain):
+	// instead of the critpath recorder and exemplar reservoir, the session
+	// sink carries a narrator that records the measured IO with this
+	// sequence number tick by tick. Drive it through Explain, which
+	// retrieves the transcript after the run.
+	ExplainSeq uint64
+
+	// session carries per-run state shared across an experiment's stacks
+	// (the attribution sink that numbers measured IOs, the narrator in
+	// explain mode). register installs a fresh one per Run call, so IO
+	// sequence numbers are stable per (experiment, seed) — the identity
+	// `-explain <exp>:<seq>` replays.
+	session *session
 }
 
 // DefaultConfig is the standard full-size run.
@@ -61,7 +75,20 @@ func DefaultConfig() Config { return Config{Seed: 42} }
 func attrProbe(cfg Config) *telemetry.Probe {
 	sink := cfg.Probe.Attribution()
 	if sink == nil {
-		sink = telemetry.NewAttrSink()
+		// Share one sink across the experiment's stacks (via the per-run
+		// session) so measured-IO sequence numbers are unique within the
+		// run — the identity `-explain <exp>:<seq>` depends on it. The
+		// aggregates tolerate sharing: experiments snapshot-delta around
+		// their measured windows, exactly as in the cfg.Probe (live
+		// dashboard) configuration.
+		if cfg.session != nil {
+			if cfg.session.sink == nil {
+				cfg.session.sink = telemetry.NewAttrSink()
+			}
+			sink = cfg.session.sink
+		} else {
+			sink = telemetry.NewAttrSink()
+		}
 	}
 	p := &telemetry.Probe{Attr: sink, HeatSrc: cfg.Probe.Heat(), FlightRec: cfg.Probe.Flight()}
 	if p.FlightRec == nil {
@@ -76,13 +103,29 @@ func attrProbe(cfg Config) *telemetry.Probe {
 	if cfg.Probe != nil {
 		p.Pub = cfg.Probe.Pub
 	}
-	// Arm the critical-path recorder once per sink: every experiment that
-	// attributes latency also records per-IO critical paths (same charge
-	// feed, same exact-sum contract), so reports can rank phases by path
-	// ticks and answer what-if questions. Experiments drain the recorder
-	// around their measured windows.
-	if critpath.FromSink(sink) == nil {
-		critpath.Attach(sink, critpath.Options{})
+	// Arm the per-IO layers once per sink. Explain mode installs a
+	// narrator as both the path and exemplar sink (the critpath recorder
+	// and reservoir step aside; their report sections skip empty
+	// snapshots gracefully). Otherwise: the critical-path recorder —
+	// every experiment that attributes latency also records per-IO
+	// critical paths (same charge feed, same exact-sum contract) — plus
+	// the exemplar reservoir reading completed paths out of it.
+	// Experiments drain both around their measured windows.
+	if cfg.ExplainSeq != 0 && cfg.session != nil {
+		if cfg.session.narrator == nil {
+			cfg.session.narrator = exemplar.NewNarrator(cfg.ExplainSeq)
+		}
+		if sink.Path == nil {
+			sink.Path = cfg.session.narrator
+			sink.Exem = cfg.session.narrator
+		}
+	} else {
+		if sink.Path == nil {
+			critpath.Attach(sink, critpath.Options{})
+		}
+		if sink.Exem == nil {
+			exemplar.Attach(sink, exemplar.Options{})
+		}
 	}
 	return p
 }
@@ -109,6 +152,11 @@ type Report struct {
 	// critical-path ticks (path vs total columns) and the what-if
 	// predictions. Rendered after the attribution breakdowns.
 	Crit []CritSection
+	// Exemplars are per-configuration "slowest IOs" sections: the worst-K
+	// tail exemplars with their exact phase timelines, blame, device
+	// snapshots, and per-IO best counterfactual. Rendered after the
+	// critical-path sections.
+	Exemplars []ExemplarSection
 	// Bench are the machine-readable results (znsbench -bench-json).
 	Bench []BenchEntry
 }
@@ -183,6 +231,9 @@ type BenchEntry struct {
 	// phase, and canonical what-if ratios (znsbench -bench-json; gated by
 	// benchdiff at 0.1% like every other metric).
 	CritPath *critpath.BenchSummary `json:"critpath,omitempty"`
+	// Exemplars carries the exemplar reservoir's capture counts and worst
+	// latencies (gated at 0.1% against BENCH_exemplars.json).
+	Exemplars *exemplar.BenchSummary `json:"exemplars,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -260,6 +311,9 @@ func (r Report) Format() string {
 	}
 	for _, cs := range r.Crit {
 		formatCritSection(&b, cs)
+	}
+	for _, es := range r.Exemplars {
+		formatExemplarSection(&b, es)
 	}
 	for _, ds := range r.Devices {
 		fmt.Fprintf(&b, "device state — %s: wear blocks=%d bad=%d erases=%d max=%d mean=%.2f spread=%d skew=%.2f\n",
@@ -397,7 +451,20 @@ type Experiment struct {
 
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+// register adds an experiment, wrapping its Run so every invocation gets a
+// fresh per-run session (unless the caller already provided one — Explain
+// does, to retrieve the narrator afterwards). The session scopes measured-IO
+// sequence numbers to one (experiment, seed) run.
+func register(e Experiment) {
+	run := e.Run
+	e.Run = func(cfg Config) (Report, error) {
+		if cfg.session == nil {
+			cfg.session = newSession()
+		}
+		return run(cfg)
+	}
+	registry = append(registry, e)
+}
 
 // All returns every registered experiment in numeric ID order (E1..E12,
 // then ablations).

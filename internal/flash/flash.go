@@ -452,6 +452,11 @@ func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 		return at, ErrUnwritten
 	}
 	retries, uncorrectable := d.inj.ReadFaults(d.wearFrac(b))
+	if retries > 0 {
+		// Mark the active record so the exemplar reservoir always keeps
+		// IOs that needed a media retry, however fast they completed.
+		d.attr.FlagIO(telemetry.FlagFaultRetry)
+	}
 	sense := sim.Time(1+retries) * d.Lat.ReadPage
 	lun := d.Geom.LUNOfBlock(block)
 	ch := d.Geom.ChannelOfLUN(lun)
@@ -666,6 +671,30 @@ func (d *Device) CrashAt(t sim.Time) CrashStats {
 // foreground I/O.
 func (d *Device) LUNFreeAt(block int) sim.Time {
 	return d.luns[d.Geom.LUNOfBlock(block)].FreeAt()
+}
+
+// BusyLUNs reports how many LUNs are still acquired past instant at — the
+// die-occupancy component of the exemplar layer's device snapshot.
+func (d *Device) BusyLUNs(at sim.Time) int {
+	n := 0
+	for i := range d.luns {
+		if d.luns[i].FreeAt() > at {
+			n++
+		}
+	}
+	return n
+}
+
+// BusyChans reports how many channel buses are still acquired past instant
+// at — the bus-occupancy component of the exemplar layer's device snapshot.
+func (d *Device) BusyChans(at sim.Time) int {
+	n := 0
+	for i := range d.chans {
+		if d.chans[i].FreeAt() > at {
+			n++
+		}
+	}
+	return n
 }
 
 // MaxEraseCount reports the highest per-block erase count — the wear-leveling

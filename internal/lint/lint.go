@@ -103,6 +103,7 @@ var simCoreSuffixes = []string{
 	"internal/core",
 	"internal/telemetry",
 	"internal/telemetry/critpath",
+	"internal/telemetry/exemplar",
 	"internal/workload",
 	"internal/placement",
 	"internal/offload",

@@ -1,0 +1,69 @@
+// Package exemplar fixtures: the tail-exemplar reservoir's contracts. The
+// package is sim-core (simCoreSuffixes), so the determinism and tickunit
+// rules apply here; the Reservoir type carries //simlint:nilsafe, so its
+// exported pointer-receiver methods are nilguard-contracted exactly like
+// the real reservoir's.
+package exemplar
+
+import (
+	"sort"
+	"time"
+)
+
+// Reservoir mirrors the worst-K exemplar reservoir: the nil *Reservoir is
+// a valid no-op on every method — experiments arm it unconditionally and
+// a detached probe must cost nothing.
+//
+//simlint:nilsafe
+type Reservoir struct {
+	ios   uint64
+	heaps map[int][]int64
+}
+
+// IOs is guarded — the per-IO hot path on a detached reservoir is a no-op.
+func (r *Reservoir) IOs() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.ios
+}
+
+// Active tests the receiver in its return expression — compliant.
+func (r *Reservoir) Active() bool { return r != nil && r.ios > 0 }
+
+// FlagSeen dereferences the receiver with no guard.
+func (r *Reservoir) FlagSeen() uint64 { // want `\[nilguard\] exported method \(\*Reservoir\)\.FlagSeen`
+	return r.ios
+}
+
+// worstOrderLeak merges per-tenant worst-K sets in map order — the
+// "slowest IOs" section and /exemplars.json must never do this: the
+// report is compared byte for byte across runs.
+func worstOrderLeak(heaps map[int][]int64) []int64 {
+	var out []int64
+	for _, h := range heaps { // want `\[determinism\] iteration over map heaps`
+		out = append(out, h...)
+	}
+	return out
+}
+
+// worstSorted is the canonical fix: collect the tenant keys, sort them,
+// then merge in sorted-tenant order.
+func worstSorted(heaps map[int][]int64) []int64 {
+	tenants := make([]int, 0, len(heaps))
+	for t := range heaps {
+		tenants = append(tenants, t)
+	}
+	sort.Ints(tenants)
+	var out []int64
+	for _, t := range tenants {
+		out = append(out, heaps[t]...)
+	}
+	return out
+}
+
+// admitDeadline smuggles a wall-clock duration into the latency admission
+// threshold — exemplar latencies are virtual-time ticks.
+func admitDeadline(total int64) bool {
+	return total > int64(time.Millisecond) // want `\[tickunit\] time.Duration in a sim-core package`
+}

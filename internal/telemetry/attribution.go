@@ -162,6 +162,14 @@ type AttrSink struct {
 	start     sim.Time
 	cur       [NumPhases]sim.Time
 
+	// seq numbers measured IOs (1-based, incremented by BeginTenant);
+	// flags carries the active record's exceptional-condition marks
+	// (FlagFaultRetry, FlagAuditViolation). Together with the run's seed
+	// and experiment ID, seq is the stable identity the forensic layer
+	// replays to (`znsbench -explain <exp>:<seq>`).
+	seq   uint64
+	flags uint8
+
 	// Tenant state (tenant.go): the active record's victim tenant, its
 	// per-culprit blame charges, and the pushed-culprit ("worker") stack
 	// device layers consult for resource ownership.
@@ -188,6 +196,13 @@ type AttrSink struct {
 	// recorder consumes (see PathSink). Implementations must not allocate;
 	// the sink forwards only while a record is open.
 	Path PathSink
+
+	// Exem, if set, receives per-IO completion records (sequence number,
+	// phase timeline, blame vector, flags) so an exemplar reservoir can
+	// capture worst-K latency exemplars (see ExemplarSink). EndExemplar
+	// fires after Path.EndPath so the implementation can read the completed
+	// critical path. Implementations must not allocate.
+	Exem ExemplarSink
 
 	// OnComplete, if set, observes every completed IO: op kind, exact
 	// end-to-end latency, and the per-phase charges. Test hook for the
@@ -396,6 +411,11 @@ func (s *AttrSink) End(done sim.Time) {
 	if s.Path != nil {
 		s.Path.EndPath(done)
 	}
+	// Exem fires after Path.EndPath by contract: the exemplar layer reads
+	// the completed critical path out of the attached recorder.
+	if s.Exem != nil {
+		s.Exem.EndExemplar(done, &s.cur, &s.curBlame, s.flags)
+	}
 	if s.OnComplete != nil {
 		s.OnComplete(s.op, total, s.cur)
 	}
@@ -410,8 +430,33 @@ func (s *AttrSink) Drop() {
 	if s.active && s.Path != nil {
 		s.Path.DropPath()
 	}
+	if s.active && s.Exem != nil {
+		s.Exem.DropExemplar()
+	}
 	s.active = false
 	s.suspended = 0
+}
+
+// FlagIO marks the active record with an exceptional-condition flag
+// (FlagFaultRetry, FlagAuditViolation). Flagged IOs bypass the exemplar
+// reservoir's worst-K admission so they are always inspectable. No-op when
+// the sink is nil or no record is open (an unmeasured IO tripping a fault
+// has no record to flag).
+func (s *AttrSink) FlagIO(f uint8) {
+	if s == nil || !s.active {
+		return
+	}
+	s.flags |= f
+}
+
+// Seq reports the sequence number of the most recently begun measured IO
+// (0 before the first BeginTenant). Together with the run's seed and
+// experiment ID it identifies one IO for forensic replay.
+func (s *AttrSink) Seq() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.seq
 }
 
 // Active reports whether a record is open.

@@ -20,7 +20,7 @@ func BenchmarkProbeDisabledCritPath(b *testing.B) {
 		at := sim.Time(i)
 		r.BeginPath(telemetry.OpRead, 1, at)
 		r.Segment(telemetry.PhaseNANDRead, 60*sim.Microsecond)
-		r.WaitSegment(telemetry.PhaseLUNWait, sim.Microsecond, telemetry.PhaseNANDProgram)
+		r.WaitSegment(telemetry.PhaseLUNWait, sim.Microsecond, telemetry.SelfTenant, telemetry.PhaseNANDProgram)
 		r.Overlap(telemetry.PhaseNANDProgram, sim.Microsecond)
 		r.Reassign(telemetry.PhaseLUNWait, telemetry.PhaseWPSerial, sim.Microsecond)
 		r.Refund(telemetry.PhaseWPSerial, sim.Microsecond)
@@ -65,7 +65,7 @@ func TestDisabledCritPathZeroAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(1000, func() {
 		r.BeginPath(telemetry.OpWrite, 0, 0)
 		r.Segment(telemetry.PhaseNANDProgram, sim.Millisecond)
-		r.WaitSegment(telemetry.PhaseLUNWait, sim.Microsecond, telemetry.PhaseNANDProgram)
+		r.WaitSegment(telemetry.PhaseLUNWait, sim.Microsecond, telemetry.SelfTenant, telemetry.PhaseNANDProgram)
 		r.Overlap(telemetry.PhaseNANDRead, sim.Microsecond)
 		r.Reassign(telemetry.PhaseLUNWait, telemetry.PhaseWPSerial, sim.Microsecond)
 		r.Refund(telemetry.PhaseWPSerial, sim.Microsecond)

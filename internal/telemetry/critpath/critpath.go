@@ -177,12 +177,13 @@ const DefaultSampleCap = 4096
 //
 //simlint:nilsafe
 type Recorder struct {
-	active  bool
-	start   sim.Time
-	rec     PathRec
-	pend    [telemetry.NumPhases]sim.Time
-	pendAny bool
-	off     [telemetry.NumPhases]sim.Time
+	active   bool
+	start    sim.Time
+	rec      PathRec
+	haveLast bool
+	pend     [telemetry.NumPhases]sim.Time
+	pendAny  bool
+	off      [telemetry.NumPhases]sim.Time
 
 	ios        uint64
 	violations uint64
@@ -250,6 +251,7 @@ func (r *Recorder) BeginPath(op telemetry.OpKind, tenant telemetry.TenantID, sta
 	r.active = true
 	r.start = start
 	r.rec = PathRec{Op: op, Tenant: tenant}
+	r.haveLast = false
 	r.pend = [telemetry.NumPhases]sim.Time{}
 	r.pendAny = false
 	r.off = [telemetry.NumPhases]sim.Time{}
@@ -272,8 +274,9 @@ func (r *Recorder) Segment(p telemetry.Phase, d sim.Time) {
 }
 
 // WaitSegment records an on-path wait charge with the service phase it
-// queued behind (telemetry.PathSink).
-func (r *Recorder) WaitSegment(p telemetry.Phase, d sim.Time, bind telemetry.Phase) {
+// queued behind (telemetry.PathSink). The culprit tenant is not aggregated
+// here — the blame matrix already carries it — so only the bind is kept.
+func (r *Recorder) WaitSegment(p telemetry.Phase, d sim.Time, _ telemetry.TenantID, bind telemetry.Phase) {
 	if r == nil || !r.active {
 		return
 	}
@@ -398,7 +401,19 @@ func (r *Recorder) EndPath(done sim.Time) {
 	for p := 0; p < telemetry.NumPhases; p++ {
 		ta.Path[p] += r.rec.Path[p]
 	}
+	r.haveLast = true
 	r.admit()
+}
+
+// Last returns a copy of the most recently completed path record, valid
+// from EndPath until the next BeginPath. The exemplar layer reads it inside
+// ExemplarSink.EndExemplar (which the AttrSink fires right after EndPath)
+// to capture the completed IO's critical-path split. Nil-safe.
+func (r *Recorder) Last() (PathRec, bool) {
+	if r == nil || !r.haveLast {
+		return PathRec{}, false
+	}
+	return r.rec, true
 }
 
 // admit applies deterministic stride decimation: every stride'th completed
@@ -430,6 +445,7 @@ func (r *Recorder) DropPath() {
 		return
 	}
 	r.active = false
+	r.haveLast = false
 }
 
 // IOs reports how many paths completed since the last Drain.

@@ -246,7 +246,7 @@ func TestNilSafe(t *testing.T) {
 	var r *Recorder
 	r.BeginPath(telemetry.OpRead, 0, 0)
 	r.Segment(telemetry.PhaseNANDRead, us)
-	r.WaitSegment(telemetry.PhaseLUNWait, us, telemetry.PhaseNANDProgram)
+	r.WaitSegment(telemetry.PhaseLUNWait, us, telemetry.SelfTenant, telemetry.PhaseNANDProgram)
 	r.Overlap(telemetry.PhaseNANDRead, us)
 	r.Reassign(telemetry.PhaseLUNWait, telemetry.PhaseWPSerial, us)
 	r.Refund(telemetry.PhaseWPSerial, us)

@@ -1,0 +1,388 @@
+// Deterministic replay-to-IO forensics: a Narrator armed on one measured-IO
+// sequence number rides the same AttrSink hooks as the reservoir, records
+// the target IO's full charge stream event by event, and renders an
+// annotated tick-by-tick narrative — what the IO waited on, who held the
+// resource, which counterfactual from the what-if engine would have helped
+// most. Because the simulator is deterministic, re-running the seeded
+// experiment reproduces the narrative byte-for-byte (`make explain-campaign`
+// pins this).
+
+package exemplar
+
+import (
+	"fmt"
+	"strings"
+
+	"blockhead/internal/sim"
+	"blockhead/internal/telemetry"
+	"blockhead/internal/telemetry/critpath"
+)
+
+// event kinds recorded by the narrator, in PathSink vocabulary.
+const (
+	evSegment uint8 = iota
+	evWait
+	evOverlap
+	evReassign
+	evRefund
+)
+
+// event is one recorded charge of the target IO's lifetime.
+type event struct {
+	kind    uint8
+	p       telemetry.Phase
+	to      telemetry.Phase // reassign target; wait bind
+	culprit telemetry.TenantID
+	d       sim.Time
+}
+
+// narratorEventCap bounds the per-IO event buffer. A single IO sees a few
+// dozen events at most (a stripe-wide reset fans out one overlap per page
+// program); overflow is counted and disclosed, never silently dropped.
+const narratorEventCap = 4096
+
+// Narrator implements telemetry.PathSink and telemetry.ExemplarSink at
+// once: the ExemplarSink hooks tell it which record is the target, the
+// PathSink hooks feed it the target's charge stream. It forwards the
+// target's stream to a private critpath recorder so the final narrative
+// can replay the recorded path under the canonical what-if scenarios. The
+// nil *Narrator is a valid no-op on every method, and no hot-path method
+// allocates (the event buffer is preallocated).
+//
+//simlint:nilsafe
+type Narrator struct {
+	target uint64
+	rec    *critpath.Recorder
+
+	recording bool
+	done      bool
+	dropped   bool
+
+	events []event
+	lost   int
+
+	// completion capture
+	op         telemetry.OpKind
+	tenant     telemetry.TenantID
+	start, end sim.Time
+	phases     [telemetry.NumPhases]sim.Time
+	blame      [telemetry.MaxTenants]sim.Time
+	flags      uint8
+	path       critpath.PathRec
+	pathOK     bool
+	snap       DevSnap
+
+	// stack context, re-armed per stack (Arm): the display name, the
+	// replay model for what-if ranking, the device snapshot source, and
+	// the tenant labeler.
+	stack  string
+	opts   critpath.PredictOpts
+	snapFn SnapFunc
+	name   func(telemetry.TenantID) string
+}
+
+// NewNarrator returns a narrator armed on one measured-IO sequence number.
+func NewNarrator(target uint64) *Narrator {
+	return &Narrator{
+		target: target,
+		rec:    critpath.New(critpath.Options{SampleCap: 1}),
+		events: make([]event, 0, narratorEventCap),
+	}
+}
+
+// Arm sets the stack context the narrative renders under: the stack's
+// display name, the what-if replay model, the device snapshot source, and
+// the tenant labeler. Experiments re-arm per stack; the values captured at
+// the target's completion win. Nil-safe.
+func (n *Narrator) Arm(stack string, opts critpath.PredictOpts, snap SnapFunc, name func(telemetry.TenantID) string) {
+	if n == nil || n.done {
+		return
+	}
+	n.stack = stack
+	n.opts = opts
+	n.snapFn = snap
+	n.name = name
+}
+
+// Done reports whether the target IO completed (or was dropped).
+func (n *Narrator) Done() bool { return n != nil && n.done }
+
+// BeginExemplar arms recording when seq is the target (telemetry.ExemplarSink).
+func (n *Narrator) BeginExemplar(seq uint64, op telemetry.OpKind, tenant telemetry.TenantID, start sim.Time) {
+	if n == nil || n.done {
+		return
+	}
+	if seq != n.target {
+		n.recording = false
+		return
+	}
+	n.recording = true
+	n.op = op
+	n.tenant = tenant
+	n.start = start
+}
+
+// EndExemplar captures the target's completion state (telemetry.ExemplarSink).
+func (n *Narrator) EndExemplar(done sim.Time, phases *[telemetry.NumPhases]sim.Time, blame *[telemetry.MaxTenants]sim.Time, flags uint8) {
+	if n == nil || !n.recording {
+		return
+	}
+	n.recording = false
+	n.done = true
+	n.end = done
+	n.phases = *phases
+	n.blame = *blame
+	n.flags = flags
+	if rec, ok := n.rec.Last(); ok {
+		n.path = rec
+		n.pathOK = true
+	}
+	if n.snapFn != nil {
+		n.snapFn(done, &n.snap)
+		n.snap.Captured = true
+	}
+}
+
+// DropExemplar marks a dropped (failed) target (telemetry.ExemplarSink).
+func (n *Narrator) DropExemplar() {
+	if n == nil || !n.recording {
+		return
+	}
+	n.recording = false
+	n.done = true
+	n.dropped = true
+}
+
+// record appends one event of the target's stream.
+func (n *Narrator) record(ev event) {
+	if len(n.events) < cap(n.events) {
+		n.events = append(n.events, ev)
+	} else {
+		n.lost++
+	}
+}
+
+// BeginPath forwards the target's open to the private recorder
+// (telemetry.PathSink).
+func (n *Narrator) BeginPath(op telemetry.OpKind, tenant telemetry.TenantID, start sim.Time) {
+	if n == nil || !n.recording {
+		return
+	}
+	n.rec.BeginPath(op, tenant, start)
+}
+
+// Segment records an on-path charge (telemetry.PathSink).
+func (n *Narrator) Segment(p telemetry.Phase, d sim.Time) {
+	if n == nil || !n.recording {
+		return
+	}
+	n.record(event{kind: evSegment, p: p, d: d})
+	n.rec.Segment(p, d)
+}
+
+// WaitSegment records an on-path wait with its culprit and bind
+// (telemetry.PathSink).
+func (n *Narrator) WaitSegment(p telemetry.Phase, d sim.Time, culprit telemetry.TenantID, bind telemetry.Phase) {
+	if n == nil || !n.recording {
+		return
+	}
+	n.record(event{kind: evWait, p: p, to: bind, culprit: culprit, d: d})
+	n.rec.WaitSegment(p, d, culprit, bind)
+}
+
+// Overlap records an off-path (concurrent) charge (telemetry.PathSink).
+func (n *Narrator) Overlap(p telemetry.Phase, d sim.Time) {
+	if n == nil || !n.recording {
+		return
+	}
+	n.record(event{kind: evOverlap, p: p, d: d})
+	n.rec.Overlap(p, d)
+}
+
+// Reassign records a phase relabel (telemetry.PathSink).
+func (n *Narrator) Reassign(from, to telemetry.Phase, d sim.Time) {
+	if n == nil || !n.recording {
+		return
+	}
+	n.record(event{kind: evReassign, p: from, to: to, d: d})
+	n.rec.Reassign(from, to, d)
+}
+
+// Refund records an early-ack refund (telemetry.PathSink).
+func (n *Narrator) Refund(p telemetry.Phase, d sim.Time) {
+	if n == nil || !n.recording {
+		return
+	}
+	n.record(event{kind: evRefund, p: p, d: d})
+	n.rec.Refund(p, d)
+}
+
+// EndPath forwards the target's completion to the private recorder
+// (telemetry.PathSink). The completion capture itself happens in
+// EndExemplar, which the AttrSink fires right after.
+func (n *Narrator) EndPath(done sim.Time) {
+	if n == nil || !n.recording {
+		return
+	}
+	n.rec.EndPath(done)
+}
+
+// DropPath abandons the private recorder's open record (telemetry.PathSink).
+func (n *Narrator) DropPath() {
+	if n == nil || !n.recording {
+		return
+	}
+	n.rec.DropPath()
+}
+
+func (n *Narrator) label(t telemetry.TenantID) string {
+	return tenantLabel(t, n.name)
+}
+
+// Transcript renders the annotated tick-by-tick narrative. Deterministic:
+// it reads only virtual-time state, so the same seed and experiment
+// reproduce it byte-for-byte. Call after Done reports true.
+func (n *Narrator) Transcript(experiment string, seed int64) string {
+	if n == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== explain %s:%d (seed %d) ===\n", experiment, n.target, seed)
+	if !n.done {
+		fmt.Fprintf(&b, "io seq=%d never completed in this run (fewer measured IOs than the requested sequence number)\n", n.target)
+		return b.String()
+	}
+	if n.dropped {
+		fmt.Fprintf(&b, "io: %s seq=%d tenant=%s issued t=%.3fms — dropped (the IO failed partway; no charges to narrate)\n",
+			n.op.String(), n.target, n.label(n.tenant), n.start.Millis())
+		return b.String()
+	}
+	total := n.end - n.start
+	fmt.Fprintf(&b, "io: %s seq=%d tenant=%s issued t=%.3fms completed t=%.3fms total=%.1fus\n",
+		n.op.String(), n.target, n.label(n.tenant), n.start.Millis(), n.end.Millis(), total.Micros())
+	if n.stack != "" {
+		fmt.Fprintf(&b, "stack: %s\n", n.stack)
+	}
+	if names := (Exemplar{Flags: n.flags}).FlagNames(); len(names) > 0 {
+		fmt.Fprintf(&b, "flags: %s\n", strings.Join(names, ","))
+	}
+
+	n.timeline(&b)
+	n.phaseTotals(&b, total)
+	n.blameLines(&b)
+	if n.snap.Captured {
+		fmt.Fprintf(&b, "device state at completion: %s\n", n.snap.String())
+	}
+	n.whatIf(&b, total)
+	return b.String()
+}
+
+// timeline renders the event stream as a virtual-time walk: each on-path
+// charge advances the cursor; overlapped work prints beneath the composite
+// that hid it; relabels and refunds print as annotations.
+func (n *Narrator) timeline(b *strings.Builder) {
+	fmt.Fprintf(b, "timeline (offsets relative to issue):\n")
+	var cursor sim.Time
+	pendingOverlap := false
+	for _, ev := range n.events {
+		switch ev.kind {
+		case evSegment:
+			fmt.Fprintf(b, "  +%-11s %-12s %10.1fus\n", usOffset(cursor), ev.p.String(), ev.d.Micros())
+			cursor += ev.d
+			pendingOverlap = false
+		case evWait:
+			who := "unknown occupant"
+			if ev.to >= 0 {
+				if ev.culprit >= 0 {
+					who = fmt.Sprintf("queued behind %s's %s", n.label(ev.culprit), ev.to.String())
+				} else {
+					who = fmt.Sprintf("queued behind own %s", ev.to.String())
+				}
+			} else if ev.culprit >= 0 {
+				who = fmt.Sprintf("queued behind %s (pre-history)", n.label(ev.culprit))
+			}
+			fmt.Fprintf(b, "  +%-11s %-12s %10.1fus  %s\n", usOffset(cursor), ev.p.String(), ev.d.Micros(), who)
+			cursor += ev.d
+			pendingOverlap = false
+		case evOverlap:
+			if !pendingOverlap {
+				fmt.Fprintf(b, "    (concurrent device work hidden under the next composite stall:)\n")
+				pendingOverlap = true
+			}
+			fmt.Fprintf(b, "      ~ %-12s %10.1fus (off-path)\n", ev.p.String(), ev.d.Micros())
+		case evReassign:
+			fmt.Fprintf(b, "    note: reclassified %.1fus %s -> %s\n", ev.d.Micros(), ev.p.String(), ev.to.String())
+		case evRefund:
+			fmt.Fprintf(b, "    note: refunded %.1fus of %s (early ack: host saw completion before the device finished)\n",
+				ev.d.Micros(), ev.p.String())
+			cursor -= ev.d
+		}
+	}
+	if n.lost > 0 {
+		fmt.Fprintf(b, "  (%d further events beyond the %d-event buffer not shown; totals below remain exact)\n",
+			n.lost, narratorEventCap)
+	}
+}
+
+// phaseTotals renders the exact per-phase decomposition and its sum check.
+func (n *Narrator) phaseTotals(b *strings.Builder, total sim.Time) {
+	var sum sim.Time
+	var parts []string
+	for p := 0; p < telemetry.NumPhases; p++ {
+		sum += n.phases[p]
+		if n.phases[p] != 0 {
+			parts = append(parts, fmt.Sprintf("%s %.1fus", telemetry.Phase(p).String(), n.phases[p].Micros()))
+		}
+	}
+	verdict := "exact"
+	if sum != total {
+		verdict = fmt.Sprintf("BROKEN: phases sum to %.1fus", sum.Micros())
+	}
+	fmt.Fprintf(b, "phase totals: %s | total %.1fus (sum==end-to-end: %s)\n",
+		strings.Join(parts, "; "), total.Micros(), verdict)
+}
+
+// blameLines renders the culprit-tenant blame vector.
+func (n *Narrator) blameLines(b *strings.Builder) {
+	var parts []string
+	for t := 0; t < telemetry.MaxTenants; t++ {
+		if n.blame[t] != 0 {
+			parts = append(parts, fmt.Sprintf("%s %.1fus", n.label(telemetry.TenantID(t)), n.blame[t].Micros()))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(b, "blame: %s\n", strings.Join(parts, ", "))
+	}
+}
+
+// whatIf replays the recorded critical path under the canonical scenarios
+// and names the one that would have helped this IO most.
+func (n *Narrator) whatIf(b *strings.Builder, total sim.Time) {
+	if !n.pathOK || total <= 0 {
+		return
+	}
+	fmt.Fprintf(b, "what-if (counterfactual replay of this IO's critical path):\n")
+	bestIdx, bestNs := -1, float64(total)
+	scenarios := critpath.Canonical()
+	for i, sc := range scenarios {
+		pred := critpath.Replay(&n.path, sc, n.opts)
+		ratio := pred / float64(total)
+		fmt.Fprintf(b, "  %-18s -> %10.1fus (x%.2f)\n", sc.Name, pred/1e3, ratio)
+		if pred < bestNs {
+			bestNs = pred
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		fmt.Fprintf(b, "verdict: %s helps most: predicted %.1fus instead of %.1fus (saves %.1fus)\n",
+			scenarios[bestIdx].Name, bestNs/1e3, total.Micros(), total.Micros()-bestNs/1e3)
+	} else {
+		fmt.Fprintf(b, "verdict: no canonical counterfactual improves this IO\n")
+	}
+}
+
+// usOffset renders a virtual-time offset as a fixed-width microsecond
+// string.
+func usOffset(t sim.Time) string {
+	return fmt.Sprintf("%.1fus", t.Micros())
+}

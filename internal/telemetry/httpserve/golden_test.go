@@ -10,6 +10,7 @@ import (
 
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry/critpath"
+	"blockhead/internal/telemetry/exemplar"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -21,6 +22,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func TestGoldenSchemas(t *testing.T) {
 	p := testProbe()
 	cs := critpath.FromSink(p.Attribution()).Snapshot()
+	es := exemplar.FromSink(p.Attribution()).Snapshot()
 	for _, tc := range []struct {
 		name   string
 		golden string
@@ -32,6 +34,7 @@ func TestGoldenSchemas(t *testing.T) {
 		{"flight", "flight.golden.json", p.Flight().Dump()},
 		{"tenants", "tenants.golden.json", p.Attribution().TenantsDump()},
 		{"critpath", "critpath.golden.json", cs.Dump(critpath.PredictOpts{})},
+		{"exemplars", "exemplars.golden.json", es.Dump(p.Attribution().TenantName)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			got, err := json.MarshalIndent(tc.dump, "", "  ")

@@ -22,6 +22,7 @@ import (
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
 	"blockhead/internal/telemetry/critpath"
+	"blockhead/internal/telemetry/exemplar"
 )
 
 //go:embed dashboard.html
@@ -62,6 +63,7 @@ type Server struct {
 	flight  []byte // marshaled telemetry.FlightDump
 	tenants []byte // marshaled telemetry.TenantsDump
 	crit    []byte // marshaled critpath.Dump
+	exem    []byte // marshaled exemplar.Dump
 	sample  []byte // marshaled sampleEvent (latest SSE payload)
 
 	subMu sync.Mutex
@@ -118,6 +120,7 @@ func New(probe *telemetry.Probe, opts Options) (*Server, error) {
 	mux.HandleFunc("/flight.json", s.handleFlight)
 	mux.HandleFunc("/tenants.json", s.handleTenants)
 	mux.HandleFunc("/critpath.json", s.handleCritPath)
+	mux.HandleFunc("/exemplars.json", s.handleExemplars)
 	mux.HandleFunc("/events", s.handleEvents)
 	s.srv = &http.Server{Handler: mux}
 	s.Publish(0)
@@ -206,6 +209,18 @@ func (s *Server) Publish(at sim.Time) {
 	if err != nil {
 		crit = []byte("{}")
 	}
+	// Same window-fallback story for the exemplar reservoir: an empty live
+	// snapshot means "between recording windows", so serve the last drained
+	// one. Tenant labels come straight from the (live) sink.
+	res := exemplar.FromSink(s.probe.Attribution())
+	es := res.Snapshot()
+	if es.IOs == 0 {
+		es = res.LastDrained()
+	}
+	exem, err := json.Marshal(es.Dump(s.probe.Attribution().TenantName))
+	if err != nil {
+		exem = []byte("{}")
+	}
 
 	s.mu.Lock()
 	s.seq++
@@ -219,7 +234,7 @@ func (s *Server) Publish(at sim.Time) {
 		sample = []byte("{}")
 	}
 	s.metrics, s.attr, s.sample = metrics, attr, sample
-	s.heat, s.flight, s.tenants, s.crit = heat, flight, tenants, crit
+	s.heat, s.flight, s.tenants, s.crit, s.exem = heat, flight, tenants, crit, exem
 	s.lastPub = time.Now() //simlint:allow determinism wall-clock bookkeeping for the publish throttle; it never feeds simulation results
 	s.mu.Unlock()
 
@@ -292,6 +307,13 @@ func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleCritPath(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	body := s.crit
+	s.mu.Unlock()
+	s.serveJSON(w, body)
+}
+
+func (s *Server) handleExemplars(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.exem
 	s.mu.Unlock()
 	s.serveJSON(w, body)
 }

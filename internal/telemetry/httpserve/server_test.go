@@ -14,6 +14,7 @@ import (
 	"blockhead/internal/sim"
 	"blockhead/internal/telemetry"
 	"blockhead/internal/telemetry/critpath"
+	"blockhead/internal/telemetry/exemplar"
 )
 
 // testProbe builds a probe with deterministic contents: two counters, one
@@ -30,6 +31,17 @@ func testProbe() *telemetry.Probe {
 
 	a := p.Attr
 	critpath.Attach(a, critpath.Options{}) // /critpath.json source
+	// /exemplars.json source: a small reservoir with a fixed device-state
+	// snapshot so the golden pins the Device string shape too.
+	res := exemplar.Attach(a, exemplar.Options{K: 4, FlagCap: 4})
+	res.SetSnap(func(done sim.Time, ds *exemplar.DevSnap) {
+		ds.Zoned = true
+		ds.ZoneCount[1] = 1 // one open zone
+		ds.HotZone, ds.HotWP = 0, 5
+		ds.BusyLUNs, ds.TotalLUNs = 1, 2
+		ds.BusyChans, ds.TotalChans = 0, 1
+		ds.GCRuns, ds.Free = 3, 7
+	})
 	a.SetTenantName(1, "web")
 	a.SetTenantName(2, "churn")
 	ws := telemetry.NewWindowSet(telemetry.WindowCfg{Width: sim.Millisecond, Keep: 4})
@@ -49,6 +61,7 @@ func testProbe() *telemetry.Probe {
 	a.BeginTenant(telemetry.OpRead, 1, 0)
 	a.ChargeBlamed(telemetry.PhaseLUNWait, 140*sim.Microsecond, 2)
 	a.Charge(telemetry.PhaseNANDRead, 60*sim.Microsecond)
+	a.FlagIO(telemetry.FlagAuditViolation) // lands in the flagged ring
 	a.End(200 * sim.Microsecond)
 
 	p.HeatSrc.Register("flash", func(sim.Time) telemetry.DeviceHeat {
@@ -192,6 +205,23 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("critpath.json carries no what-if predictions")
 	}
 
+	var ed exemplar.Dump
+	if err := json.Unmarshal(get(t, s.URL()+"/exemplars.json"), &ed); err != nil {
+		t.Fatalf("exemplars.json: %v", err)
+	}
+	if ed.Schema != exemplar.DumpSchema {
+		t.Fatalf("exemplars.json schema = %q", ed.Schema)
+	}
+	if ed.IOs != 3 || len(ed.Worst) != 3 {
+		t.Fatalf("exemplars.json = ios %d worst %d", ed.IOs, len(ed.Worst))
+	}
+	if len(ed.Flagged) != 1 || len(ed.Flagged[0].Flags) != 1 || ed.Flagged[0].Flags[0] != "audit_violation" {
+		t.Fatalf("exemplars.json flagged = %+v", ed.Flagged)
+	}
+	if ed.Worst[0].Op != "write" || ed.Worst[0].Device == "" {
+		t.Fatalf("exemplars.json worst[0] = %+v", ed.Worst[0])
+	}
+
 	if !strings.Contains(string(get(t, s.URL()+"/")), "blockhead — live telemetry") {
 		t.Fatal("dashboard HTML not served at /")
 	}
@@ -217,7 +247,7 @@ func TestConcurrentPublishAndServe(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 15; i++ {
 				for _, ep := range []string{
-					"/metrics.json", "/attribution.json", "/heatmap.json", "/flight.json", "/tenants.json", "/critpath.json", "/",
+					"/metrics.json", "/attribution.json", "/heatmap.json", "/flight.json", "/tenants.json", "/critpath.json", "/exemplars.json", "/",
 				} {
 					resp, err := http.Get(s.URL() + ep)
 					if err != nil {

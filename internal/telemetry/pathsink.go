@@ -12,9 +12,11 @@ import "blockhead/internal/sim"
 //   - Segment is an on-path charge: ticks that bound the IO's completion
 //     (the charge landed while the sink was not suspended).
 //   - WaitSegment is an on-path charge to a resource-wait phase, annotated
-//     with the service phase of the occupant the IO waited behind (bind),
-//     so a counterfactual engine knows which cost the wait tracks. bind < 0
-//     means the blocker is unknown.
+//     with the culprit tenant that held the resource (SelfTenant when the
+//     blame lands on the record's own tenant) and the service phase of the
+//     occupant the IO waited behind (bind), so a counterfactual engine knows
+//     which cost the wait tracks and a forensic narrator knows who held the
+//     resource. bind < 0 means the blocker is unknown.
 //   - Overlap is an off-path charge: ticks recorded while the sink was
 //     suspended at depth 1 (parallel fan-out whose wall-clock the enclosing
 //     layer charges as one composite phase instead). Charges at deeper
@@ -31,10 +33,39 @@ import "blockhead/internal/sim"
 type PathSink interface {
 	BeginPath(op OpKind, tenant TenantID, start sim.Time)
 	Segment(p Phase, d sim.Time)
-	WaitSegment(p Phase, d sim.Time, bind Phase)
+	WaitSegment(p Phase, d sim.Time, culprit TenantID, bind Phase)
 	Overlap(p Phase, d sim.Time)
 	Reassign(from, to Phase, d sim.Time)
 	Refund(p Phase, d sim.Time)
 	EndPath(done sim.Time)
 	DropPath()
+}
+
+// IO flags mark exceptional conditions on the active record. A flagged IO
+// bypasses the exemplar reservoir's worst-K admission (always kept), so the
+// forensic layer never loses the IOs the auditors and fault injectors
+// complained about.
+const (
+	// FlagFaultRetry marks an IO that needed at least one media retry
+	// (injected NAND read fault).
+	FlagFaultRetry uint8 = 1 << iota
+	// FlagAuditViolation marks an IO during which the zone state-machine
+	// auditor flagged a violation.
+	FlagAuditViolation
+)
+
+// ExemplarSink receives per-IO completion records from the AttrSink so a
+// higher layer (internal/telemetry/exemplar) can capture worst-K latency
+// exemplars without re-instrumenting the device models. Begin/End/Drop
+// mirror BeginTenant/End/Drop; seq is the sink's monotonically increasing
+// measured-IO sequence number (1-based), the stable per-run identity
+// `znsbench -explain <exp>:<seq>` replays to. EndExemplar fires after the
+// PathSink's EndPath, so an implementation may read the completed critical
+// path from an attached recorder. The phase and blame arrays are the live
+// record — implementations must copy what they keep and must not allocate
+// on any call (the hooks sit on the per-IO hot path).
+type ExemplarSink interface {
+	BeginExemplar(seq uint64, op OpKind, tenant TenantID, start sim.Time)
+	EndExemplar(done sim.Time, phases *[NumPhases]sim.Time, blame *[MaxTenants]sim.Time, flags uint8)
+	DropExemplar()
 }

@@ -123,6 +123,13 @@ func (s *AttrSink) BeginTenant(op OpKind, t TenantID, start sim.Time) {
 	s.cur = [NumPhases]sim.Time{}
 	s.tenant = clampTenant(t)
 	s.curBlame = [MaxTenants]sim.Time{}
+	s.seq++
+	s.flags = 0
+	// Exem learns the record identity before Path opens its record, so a
+	// narrator armed on one sequence number sees its own BeginPath.
+	if s.Exem != nil {
+		s.Exem.BeginExemplar(s.seq, op, s.tenant, start)
+	}
 	if s.Path != nil {
 		s.Path.BeginPath(op, s.tenant, start)
 	}
@@ -157,8 +164,9 @@ func (s *AttrSink) ChargeBlamed(p Phase, d sim.Time, culprit TenantID) {
 // phase the blocking occupant was running (bind; < 0 when unknown, e.g. a
 // wait behind pre-instrumentation history). Attribution and blame
 // aggregates are identical to ChargeBlamed — only the critical-path feed
-// sees the bind, which a what-if engine needs to scale waits with the cost
-// they queue behind.
+// sees the culprit and bind, which a what-if engine needs to scale waits
+// with the cost they queue behind and a forensic narrator needs to say who
+// held the resource.
 func (s *AttrSink) ChargeWaitBlamed(p Phase, d sim.Time, culprit TenantID, bind Phase) {
 	if s == nil || !s.active || d <= 0 {
 		return
@@ -168,14 +176,15 @@ func (s *AttrSink) ChargeWaitBlamed(p Phase, d sim.Time, culprit TenantID, bind 
 		return
 	}
 	s.cur[p] += d
+	resolved := culprit
 	if blamePhases[p] {
-		if culprit < 0 || culprit >= MaxTenants {
-			culprit = s.tenant
+		if resolved < 0 || resolved >= MaxTenants {
+			resolved = s.tenant
 		}
-		s.curBlame[culprit] += d
+		s.curBlame[resolved] += d
 	}
 	if s.Path != nil {
-		s.Path.WaitSegment(p, d, bind)
+		s.Path.WaitSegment(p, d, culprit, bind)
 	}
 }
 

@@ -165,6 +165,10 @@ func (a *Auditor) flag(at sim.Time, z int, kind AuditKind, detail string) {
 	a.violations++
 	a.byKind[kind]++
 	a.d.fl.Violation(at, telemetry.FlightAuditViolation, int32(z), detail, int64(kind))
+	// Mark the measured IO whose state change tripped the auditor, so the
+	// exemplar reservoir always keeps it for forensics (no-op when no
+	// record is open — e.g. prefill or maintenance transitions).
+	a.d.attr.FlagIO(telemetry.FlagAuditViolation)
 }
 
 // Violations reports the total violation count; nil-safe.
