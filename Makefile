@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build lint test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign slo-campaign whatif-campaign explain-campaign update-golden clean
+.PHONY: all check vet build lint lint-affinity lint-fix-dryrun test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign slo-campaign whatif-campaign explain-campaign update-golden clean
 
 all: check
 
-check: vet build lint test bench-telemetry fault-campaign slo-campaign whatif-campaign explain-campaign
+check: vet build lint lint-affinity test bench-telemetry fault-campaign slo-campaign whatif-campaign explain-campaign
 
 vet:
 	$(GO) vet ./...
@@ -19,11 +19,29 @@ build:
 # Project-specific static analysis (docs/static-analysis.md): determinism
 # (no wall clock/global rand/map-order leaks), concurrency (sim core is a
 # single-threaded virtual-time loop), nilguard (nil instruments are no-ops),
-# tickunit (no time.Duration in tick arithmetic). Exits non-zero on any
-# finding — including an unjustified //simlint:allow, so `make check` fails
-# on reason-less or unused exemptions.
+# tickunit (no time.Duration in tick arithmetic), shardcheck (per-LUN code
+# only writes shard-keyed state), pairing (AttrSink brackets close on every
+# path), exhaustive (zone-state switches and the experiment registry are
+# complete). Diffs against the committed baseline — LINT_BASELINE.json holds
+# the accepted findings (currently none) — and fails on anything new AND on
+# stale entries, so suppression debt can only shrink deliberately.
 lint:
-	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -baseline LINT_BASELINE.json ./...
+
+# The shard-affinity report is the parallel core's carve-out contract: which
+# state is per-channel/per-LUN/per-block (shardable), which is deliberately
+# shared, and which functions run on per-LUN paths. Its acceptance bar is
+# the same as every campaign's: two fresh runs reproduce it byte-for-byte.
+lint-affinity:
+	$(GO) run ./cmd/simlint -affinity ./internal/sim ./internal/flash > /tmp/blockhead-affinity-a.txt
+	$(GO) run ./cmd/simlint -affinity ./internal/sim ./internal/flash > /tmp/blockhead-affinity-b.txt
+	cmp /tmp/blockhead-affinity-a.txt /tmp/blockhead-affinity-b.txt
+	cat /tmp/blockhead-affinity-a.txt
+
+# Triage helper: list the findings the tool could fix mechanically (nilguard
+# inserts, missing switch cases) with the edit each would get. Never edits.
+lint-fix-dryrun:
+	$(GO) run ./cmd/simlint -fix-dryrun ./...
 
 test:
 	$(GO) test -race ./...

@@ -1,15 +1,19 @@
 // Command simlint runs the project's static-analysis suite over the module:
-// the determinism, concurrency, nil-guard, and tick-unit contracts that keep
-// every simulation bit-identical across runs and every disabled instrument a
-// zero-alloc no-op. See docs/static-analysis.md for the rule set and the
-// //simlint:allow escape hatch.
+// the determinism, concurrency, nil-guard, tick-unit, shard-affinity,
+// bracket-pairing, and exhaustiveness contracts that keep every simulation
+// bit-identical across runs, every disabled instrument a zero-alloc no-op,
+// and the road to the parallel sim core provable. See docs/static-analysis.md
+// for the rule set, the //simlint:allow and //simlint:shared directives, and
+// the baseline workflow.
 //
 // Usage:
 //
 //	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -affinity ./internal/sim ./internal/flash
+//	go run ./cmd/simlint -json -baseline LINT_BASELINE.json ./...
 //
-// Exit status is 0 when the module is clean, 1 when there are findings, and
-// 2 when packages fail to load or type-check.
+// Exit status is 0 when the module is clean (or matches the baseline), 1
+// when there are findings, and 2 when packages fail to load or type-check.
 package main
 
 import (
@@ -24,9 +28,14 @@ import (
 
 func main() {
 	rules := flag.Bool("rules", false, "print the rule set and exit")
+	jsonOut := flag.Bool("json", false, "print findings as the machine-readable simlint/v1 JSON document")
+	affinity := flag.Bool("affinity", false, "print the shard-affinity report (the parallel-core carve-out contract) and exit")
+	baseline := flag.String("baseline", "", "compare findings against the baseline `file`; fail on new findings and on stale entries")
+	writeBaseline := flag.String("write-baseline", "", "write the current findings to the baseline `file` and exit 0")
+	fixDryRun := flag.Bool("fix-dryrun", false, "list auto-fixable findings with the fix each would get; always exits 0")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [-rules] [packages]\n\n")
-		fmt.Fprintf(os.Stderr, "Lints the module against the simulator's determinism, concurrency,\nnil-guard, and tick-unit contracts. Defaults to ./... when no package\npattern is given.\n\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Lints the module against the simulator's contracts: determinism,\nconcurrency, nil-guards, tick units, shard affinity, AttrSink bracket\npairing, and zone-state/registry exhaustiveness. Defaults to ./... when\nno package pattern is given.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,8 +54,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		os.Exit(2)
 	}
+	if *affinity {
+		fmt.Print(lint.AffinityReport(pkgs))
+		return
+	}
 	findings := lint.Check(pkgs)
 	cwd, _ := os.Getwd()
+
+	if *fixDryRun {
+		for _, line := range lint.FixDryRun(findings, cwd) {
+			fmt.Println(line)
+		}
+		return
+	}
+	if *writeBaseline != "" {
+		doc := lint.EncodeJSON(lint.ToJSONFindings(findings, cwd))
+		if err := os.WriteFile(*writeBaseline, doc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+	if *baseline != "" {
+		base, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			os.Exit(2)
+		}
+		fresh, stale := lint.DiffBaseline(lint.ToJSONFindings(findings, cwd), base)
+		for _, f := range fresh {
+			fmt.Printf("%s:%d: [%s] %s\n", f.File, f.Line, f.Rule, f.Msg)
+		}
+		for _, f := range stale {
+			fmt.Printf("%s: [stale-baseline] no longer produced: [%s] %s\n", f.File, f.Rule, f.Msg)
+		}
+		if len(fresh) > 0 || len(stale) > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: %d new finding(s), %d stale baseline entr(ies); regenerate with -write-baseline %s and review the diff\n",
+				len(fresh), len(stale), *baseline)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut {
+		os.Stdout.Write(lint.EncodeJSON(lint.ToJSONFindings(findings, cwd)))
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	for _, f := range findings {
 		name := f.Pos.Filename
 		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {

@@ -200,6 +200,7 @@ type Device struct {
 	luns   []sim.Resource
 	chans  []sim.Resource
 	blocks []blockState
+	//simlint:shared commutative aggregate op totals: per-shard counts merge by summing at barriers
 	counts OpCounts
 
 	// Fault injection (nil = perfect media) and crash/recovery support.

@@ -63,6 +63,8 @@ func (f *FTL) Recover(crashAt sim.Time) (fault.RecoveryReport, error) {
 		case zns.Empty:
 			f.freeZones = append(f.freeZones, z)
 			continue
+		case zns.Open, zns.Closed, zns.Full, zns.ReadOnly:
+			// Holds data: rediscover its write pointer below.
 		}
 		wp := f.dev.WP(z)
 		for o := int64(0); o < wp; o++ {

@@ -1,0 +1,115 @@
+// The affinity report: the human-reviewed carve-out contract between
+// today's single-threaded sim core and the planned channel-sharded parallel
+// scheduler (ROADMAP). simlint -affinity renders the shardcheck
+// classification of every piece of mutable state the loaded packages touch,
+// so the scheduler PR can cite exactly which state is shard-local and which
+// carve-outs (//simlint:shared) it must merge at barriers. The output is
+// deterministic: two runs over the same tree are byte-identical.
+
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AffinityReport runs the full rule suite over pkgs and renders the state
+// affinity classification.
+func AffinityReport(pkgs []*Package) string {
+	findings, res := checkAll(pkgs)
+	crossShard := 0
+	for _, f := range findings {
+		if f.Rule == "shardcheck" {
+			crossShard++
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("# simlint affinity report\n")
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	fmt.Fprintf(&b, "# packages: %s\n", strings.Join(paths, " "))
+	b.WriteString("# contract: per-chan/per-lun/per-block/config state is safe to touch from a\n")
+	b.WriteString("# per-LUN code path under channel sharding; shared state carries a reviewed\n")
+	b.WriteString("# //simlint:shared reason and must be merged at barriers; global state blocks\n")
+	b.WriteString("# the parallel scheduler until it is keyed or carved out.\n")
+
+	fmt.Fprintf(&b, "\n## per-LUN context functions (%d)\n", len(res.contexts))
+	for _, k := range res.contexts {
+		fmt.Fprintf(&b, "  %s\n", k)
+	}
+
+	refs := make([]stateRef, 0, len(res.classes))
+	for r := range res.classes {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refLess(refs[i], refs[j]) })
+	fmt.Fprintf(&b, "\n## state affinity (%d refs)\n", len(refs))
+	wide := 0
+	for _, r := range refs {
+		if n := len(r.String()); n > wide {
+			wide = n
+		}
+	}
+	for _, r := range refs {
+		fmt.Fprintf(&b, "  %-9s %-*s %s\n", res.classes[r], wide, r, affinityNote(res, r))
+	}
+
+	counts := map[affinity]int{}
+	for _, c := range res.classes {
+		counts[c]++
+	}
+	b.WriteString("\n## summary\n")
+	for _, c := range []affinity{affConfig, affInstance, affPerZone, affPerChan, affPerLUN, affPerBlock, affShared, affGlobal} {
+		fmt.Fprintf(&b, "  %-9s %d\n", c, counts[c])
+	}
+	fmt.Fprintf(&b, "  unannotated cross-shard writes: %d\n", crossShard)
+	return b.String()
+}
+
+func refLess(a, b stateRef) bool {
+	if a.pkg != b.pkg {
+		return a.pkg < b.pkg
+	}
+	if a.typ != b.typ {
+		return a.typ < b.typ
+	}
+	return a.field < b.field
+}
+
+// affinityNote explains one row: the observed shard keys, the carve-out
+// reason, or the write shape that forced the class.
+func affinityNote(res *shardResult, r stateRef) string {
+	if res.classes[r] == affShared {
+		reason := res.reasons[r]
+		if reason == "" {
+			reason = "(missing)"
+		}
+		return "reason: " + reason
+	}
+	var keys []string
+	for _, k := range []keyClass{keyBlock, keyLUN, keyChan, keyZone, keyRange} {
+		if res.evidence[r][k] {
+			keys = append(keys, k.String())
+		}
+	}
+	if res.evidence[r][keyNone] {
+		keys = append(keys, "unkeyed")
+	}
+	if len(keys) > 0 {
+		return "keys: " + strings.Join(keys, ",")
+	}
+	switch res.whole[r] {
+	case rootRecv:
+		return "whole-object writes via owner"
+	case rootGlobal:
+		return "package-var writes"
+	case rootPointee:
+		return "writes through a shared pointer"
+	}
+	return "no writes outside setup"
+}

@@ -1,0 +1,117 @@
+// Machine-readable output and the findings baseline. The baseline makes
+// suppression debt explicit: LINT_BASELINE.json holds the accepted findings
+// (ideally none), `simlint -baseline` fails on anything new AND on stale
+// entries, so the file can only shrink deliberately — regenerate it with
+// -write-baseline and review the diff.
+
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BaselineVersion identifies the JSON schema.
+const BaselineVersion = "simlint/v1"
+
+// JSONFinding is one finding in -json / baseline form. File is
+// module-relative so the baseline is stable across checkouts.
+type JSONFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// BaselineFile is the -json document and the committed baseline format.
+type BaselineFile struct {
+	Version  string        `json:"version"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// ToJSONFindings converts findings to the relative-path JSON form.
+func ToJSONFindings(findings []Finding, root string) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			File: relFile(f.Pos.Filename, root),
+			Line: f.Pos.Line,
+			Rule: f.Rule,
+			Msg:  f.Msg,
+		})
+	}
+	return out
+}
+
+func relFile(name, root string) string {
+	if root == "" {
+		return name
+	}
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}
+
+// EncodeJSON renders the simlint/v1 document, indented, newline-terminated.
+func EncodeJSON(findings []JSONFinding) []byte {
+	if findings == nil {
+		findings = []JSONFinding{}
+	}
+	doc := BaselineFile{Version: BaselineVersion, Findings: findings}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		panic(err) // plain structs cannot fail to marshal
+	}
+	return append(b, '\n')
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*BaselineFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BaselineFile
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if doc.Version != BaselineVersion {
+		return nil, fmt.Errorf("%s: version %q, want %q", path, doc.Version, BaselineVersion)
+	}
+	return &doc, nil
+}
+
+// DiffBaseline compares current findings against the baseline. Matching is
+// by (file, rule, msg) — line-insensitive, so unrelated edits that shift a
+// baselined finding do not churn the diff — and multiset, so a second
+// identical finding in the same file still counts as new. It returns the
+// findings not covered by the baseline and the baseline entries no longer
+// produced; both fail the lint gate.
+func DiffBaseline(cur []JSONFinding, base *BaselineFile) (fresh, stale []JSONFinding) {
+	type key struct{ file, rule, msg string }
+	budget := make(map[key]int)
+	for _, f := range base.Findings {
+		budget[key{f.File, f.Rule, f.Msg}]++
+	}
+	for _, f := range cur {
+		k := key{f.File, f.Rule, f.Msg}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	// Whatever budget remains was baselined but not produced: stale entries.
+	for _, f := range base.Findings {
+		k := key{f.File, f.Rule, f.Msg}
+		if budget[k] > 0 {
+			budget[k]--
+			stale = append(stale, f)
+		}
+	}
+	return fresh, stale
+}

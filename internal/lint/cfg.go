@@ -1,0 +1,535 @@
+// A small hand-rolled path engine over the AST — the CFG substrate under the
+// pairing rule (the build is offline; x/tools/go/cfg is unavailable). Rather
+// than materializing basic blocks, the engine abstractly interprets Go's
+// structured control flow directly: a statement maps a set of abstract
+// bracket states to the set of states after it, loops run to a fixpoint over
+// the (finite, small) state space, and return statements hand their states
+// to an exit check. goto is not modeled — a function containing one is
+// skipped, silently (none exist in sim-core).
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// pstate is the abstract bracket state along one path: open-counter depths
+// plus the closer effects registered by defer statements (applied at exit).
+// The struct is comparable, so state sets dedupe via map keys and loop
+// fixpoints terminate.
+type pstate struct {
+	begin, susp, work   int8 // open Begin/Suspend/PushWorker depths
+	closed              bool // an End/Drop has executed (for charge-after-End)
+	dEnd, dResume, dPop int8 // deferred End/Resume/PopWorker counts
+}
+
+// opKind classifies one call's effect on the bracket state.
+type opKind int
+
+const (
+	opNone opKind = iota
+	opBegin
+	opEnd
+	opSuspend
+	opResume
+	opPush
+	opPop
+	opCharge
+	opTerminate // panic / os.Exit / log.Fatal: the path never returns
+)
+
+// stateCap bounds the per-function state-set size; past it the function is
+// too gnarly for the path analysis and is skipped rather than half-checked.
+const stateCap = 64
+
+// pengine interprets one function body. Findings buffer until the end so a
+// late bail (goto, state explosion) suppresses everything.
+type pengine struct {
+	pkg         *Package
+	classify    func(*ast.CallExpr) opKind
+	checkCharge bool // the body contains Begin: charges must be inside it
+	bail        bool
+	pending     []pendingFinding
+}
+
+type pendingFinding struct {
+	pos token.Pos
+	msg string
+}
+
+func (e *pengine) report(pos token.Pos, msg string) {
+	e.pending = append(e.pending, pendingFinding{pos, msg})
+}
+
+func (e *pengine) flush(r *reporter) {
+	if e.bail {
+		return
+	}
+	for _, f := range e.pending {
+		r.findf(f.pos, "pairing", "%s", f.msg)
+	}
+}
+
+// frame is one enclosing breakable construct (loop/switch/select) during
+// interpretation; break and continue deposit their states here.
+type frame struct {
+	up        *frame
+	label     string
+	isLoop    bool
+	breaks    []pstate
+	continues []pstate
+}
+
+func (f *frame) findBreak(label string) *frame {
+	for fr := f; fr != nil; fr = fr.up {
+		if label == "" || fr.label == label {
+			return fr
+		}
+	}
+	return nil
+}
+
+func (f *frame) findContinue(label string) *frame {
+	for fr := f; fr != nil; fr = fr.up {
+		if fr.isLoop && (label == "" || fr.label == label) {
+			return fr
+		}
+	}
+	return nil
+}
+
+func mergeStates(sets ...[]pstate) []pstate {
+	seen := make(map[pstate]bool)
+	var out []pstate
+	for _, set := range sets {
+		for _, st := range set {
+			if !seen[st] {
+				seen[st] = true
+				out = append(out, st)
+			}
+		}
+	}
+	return out
+}
+
+// run interprets the body from a single empty state and returns the
+// fall-off-the-end states (return paths were checked along the way).
+func (e *pengine) run(body *ast.BlockStmt) []pstate {
+	return e.exec(body, []pstate{{}}, nil, "")
+}
+
+// exec maps the states entering stmt to the states falling through it.
+func (e *pengine) exec(stmt ast.Stmt, in []pstate, fr *frame, label string) []pstate {
+	if e.bail || len(in) == 0 || stmt == nil {
+		return in
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			in = e.exec(st, in, fr, "")
+			if e.bail || len(in) == 0 {
+				return in
+			}
+		}
+		return in
+
+	case *ast.LabeledStmt:
+		return e.exec(s.Stmt, in, fr, s.Label.Name)
+
+	case *ast.ExprStmt:
+		return e.eval(s.X, in)
+
+	case *ast.AssignStmt:
+		for _, x := range s.Rhs {
+			in = e.eval(x, in)
+		}
+		for _, x := range s.Lhs {
+			in = e.eval(x, in)
+		}
+		return in
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, x := range vs.Values {
+						in = e.eval(x, in)
+					}
+				}
+			}
+		}
+		return in
+
+	case *ast.IncDecStmt:
+		return e.eval(s.X, in)
+
+	case *ast.SendStmt:
+		in = e.eval(s.Value, in)
+		return e.eval(s.Chan, in)
+
+	case *ast.GoStmt:
+		return e.eval(s.Call, in)
+
+	case *ast.DeferStmt:
+		return e.deferCall(s.Call, in)
+
+	case *ast.ReturnStmt:
+		for _, x := range s.Results {
+			in = e.eval(x, in)
+		}
+		e.checkExit(s.Pos(), in)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			lbl := ""
+			if s.Label != nil {
+				lbl = s.Label.Name
+			}
+			if target := fr.findBreak(lbl); target != nil {
+				target.breaks = mergeStates(target.breaks, in)
+			}
+			return nil
+		case token.CONTINUE:
+			lbl := ""
+			if s.Label != nil {
+				lbl = s.Label.Name
+			}
+			if target := fr.findContinue(lbl); target != nil {
+				target.continues = mergeStates(target.continues, in)
+			}
+			return nil
+		case token.GOTO:
+			e.bail = true
+			return nil
+		}
+		return in // fallthrough: handled by the switch interpreter
+
+	case *ast.IfStmt:
+		in = e.exec(s.Init, in, fr, "")
+		in = e.eval(s.Cond, in)
+		thenOut := e.exec(s.Body, in, fr, "")
+		elseOut := in
+		if s.Else != nil {
+			elseOut = e.exec(s.Else, in, fr, "")
+		}
+		return mergeStates(thenOut, elseOut)
+
+	case *ast.ForStmt:
+		in = e.exec(s.Init, in, fr, "")
+		return e.loop(in, fr, label, s.Cond == nil, func(cur []pstate, myfr *frame) []pstate {
+			cur = e.eval(s.Cond, cur)
+			cur = e.exec(s.Body, cur, myfr, "")
+			cur = mergeStates(cur, myfr.continues)
+			myfr.continues = nil
+			return e.exec(s.Post, cur, fr, "")
+		})
+
+	case *ast.RangeStmt:
+		in = e.eval(s.X, in)
+		return e.loop(in, fr, label, false, func(cur []pstate, myfr *frame) []pstate {
+			cur = e.exec(s.Body, cur, myfr, "")
+			cur = mergeStates(cur, myfr.continues)
+			myfr.continues = nil
+			return cur
+		})
+
+	case *ast.SwitchStmt:
+		in = e.exec(s.Init, in, fr, "")
+		in = e.eval(s.Tag, in)
+		return e.switchBody(s.Body, in, fr, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		in = e.exec(s.Init, in, fr, "")
+		return e.switchBody(s.Body, in, fr, label, s.Assign)
+
+	case *ast.SelectStmt:
+		myfr := &frame{up: fr, label: label}
+		var outs [][]pstate
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			cur := e.exec(cc.Comm, in, myfr, "")
+			for _, st := range cc.Body {
+				cur = e.exec(st, cur, myfr, "")
+			}
+			outs = append(outs, cur)
+		}
+		if !hasDefault && len(s.Body.List) == 0 {
+			outs = append(outs, in)
+		}
+		outs = append(outs, myfr.breaks)
+		return mergeStates(outs...)
+
+	default:
+		return in
+	}
+}
+
+// loop runs body() to a fixpoint over the states reaching the loop head.
+// infinite means there is no condition: the only exits are breaks.
+func (e *pengine) loop(in []pstate, fr *frame, label string, infinite bool, body func([]pstate, *frame) []pstate) []pstate {
+	myfr := &frame{up: fr, label: label, isLoop: true}
+	seen := make(map[pstate]bool)
+	var head []pstate
+	for _, st := range in {
+		if !seen[st] {
+			seen[st] = true
+			head = append(head, st)
+		}
+	}
+	work := head
+	for len(work) > 0 && !e.bail {
+		out := body(work, myfr)
+		work = nil
+		for _, st := range out {
+			if !seen[st] {
+				seen[st] = true
+				head = append(head, st)
+				work = append(work, st)
+			}
+		}
+		if len(seen) > stateCap {
+			e.bail = true
+		}
+	}
+	if infinite {
+		return mergeStates(myfr.breaks)
+	}
+	return mergeStates(head, myfr.breaks)
+}
+
+// switchBody interprets expression/type switch clauses: each clause runs
+// from the entry states; fallthrough chains into the next clause; without a
+// default the whole switch may be skipped.
+func (e *pengine) switchBody(body *ast.BlockStmt, in []pstate, fr *frame, label string, assign ast.Stmt) []pstate {
+	myfr := &frame{up: fr, label: label}
+	var outs [][]pstate
+	hasDefault := false
+	var carry []pstate // fallthrough states from the previous clause
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cur := in
+		for _, x := range cc.List {
+			cur = e.eval(x, cur)
+		}
+		cur = e.exec(assign, cur, myfr, "")
+		cur = mergeStates(cur, carry)
+		carry = nil
+		stmts := cc.Body
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				stmts = stmts[:n-1]
+			}
+		}
+		for _, st := range stmts {
+			cur = e.exec(st, cur, myfr, "")
+		}
+		if fallsThrough {
+			carry = cur
+		} else {
+			outs = append(outs, cur)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, in)
+	}
+	outs = append(outs, myfr.breaks)
+	return mergeStates(outs...)
+}
+
+// eval walks an expression in evaluation order, applying every call's op to
+// the state set. Nested function literals are NOT entered — they run at some
+// other time and are analyzed as functions in their own right.
+func (e *pengine) eval(x ast.Expr, in []pstate) []pstate {
+	if x == nil || e.bail || len(in) == 0 {
+		return in
+	}
+	switch x := x.(type) {
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			in = e.eval(sel.X, in)
+		}
+		for _, a := range x.Args {
+			in = e.eval(a, in)
+		}
+		return e.applyOp(e.classify(x), x.Pos(), in)
+	case *ast.ParenExpr:
+		return e.eval(x.X, in)
+	case *ast.SelectorExpr:
+		return e.eval(x.X, in)
+	case *ast.StarExpr:
+		return e.eval(x.X, in)
+	case *ast.UnaryExpr:
+		return e.eval(x.X, in)
+	case *ast.BinaryExpr:
+		in = e.eval(x.X, in)
+		return e.eval(x.Y, in)
+	case *ast.IndexExpr:
+		in = e.eval(x.X, in)
+		return e.eval(x.Index, in)
+	case *ast.SliceExpr:
+		in = e.eval(x.X, in)
+		in = e.eval(x.Low, in)
+		in = e.eval(x.High, in)
+		return e.eval(x.Max, in)
+	case *ast.TypeAssertExpr:
+		return e.eval(x.X, in)
+	case *ast.KeyValueExpr:
+		return e.eval(x.Value, in)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			in = e.eval(el, in)
+		}
+		return in
+	case *ast.FuncLit:
+		return in // not entered
+	}
+	return in
+}
+
+// applyOp transitions every state through one bracket op, reporting the
+// protocol violations that are local to the op itself.
+func (e *pengine) applyOp(op opKind, pos token.Pos, in []pstate) []pstate {
+	switch op {
+	case opNone:
+		return in
+	case opTerminate:
+		return nil
+	}
+	out := make([]pstate, 0, len(in))
+	for _, st := range in {
+		switch op {
+		case opBegin:
+			if st.begin > 0 {
+				e.report(pos, "nested AttrSink Begin — close the open bracket with End/Drop first")
+			}
+			st.begin++
+			st.closed = false
+		case opEnd:
+			if st.begin == 0 {
+				e.report(pos, "AttrSink End/Drop without an open Begin on this path")
+			} else {
+				st.begin--
+				if st.begin == 0 {
+					st.closed = true
+				}
+			}
+		case opSuspend:
+			st.susp++
+		case opResume:
+			if st.susp == 0 {
+				e.report(pos, "AttrSink Resume without a matching Suspend on this path")
+			} else {
+				st.susp--
+			}
+		case opPush:
+			st.work++
+		case opPop:
+			if st.work == 0 {
+				e.report(pos, "AttrSink PopWorker without a matching PushWorker on this path")
+			} else {
+				st.work--
+			}
+		case opCharge:
+			if e.checkCharge && st.begin == 0 {
+				if st.closed {
+					e.report(pos, "AttrSink charge after the bracket was closed with End/Drop")
+				} else {
+					e.report(pos, "AttrSink charge before Begin opened the bracket on this path")
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return mergeStates(out)
+}
+
+// deferCall registers a defer statement's closer effects to be applied at
+// every exit. Openers inside a defer put the function beyond this analysis.
+func (e *pengine) deferCall(call *ast.CallExpr, in []pstate) []pstate {
+	for _, a := range call.Args {
+		in = e.eval(a, in)
+	}
+	var dEnd, dResume, dPop int8
+	addOp := func(op opKind) {
+		switch op {
+		case opEnd:
+			dEnd++
+		case opResume:
+			dResume++
+		case opPop:
+			dPop++
+		case opBegin, opSuspend, opPush, opCharge:
+			e.bail = true
+		}
+	}
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// A deferred closure: count every op call in its body. Conditional
+		// closers inside it over-count — acceptably conservative, and the
+		// module's deferred closers are unconditional.
+		ast.Inspect(fl.Body, func(nd ast.Node) bool {
+			if _, isLit := nd.(*ast.FuncLit); isLit && nd != ast.Node(fl) {
+				return false
+			}
+			if c, ok := nd.(*ast.CallExpr); ok {
+				addOp(e.classify(c))
+			}
+			return true
+		})
+	} else {
+		addOp(e.classify(call))
+	}
+	if dEnd == 0 && dResume == 0 && dPop == 0 {
+		return in
+	}
+	out := make([]pstate, 0, len(in))
+	for _, st := range in {
+		st.dEnd += dEnd
+		st.dResume += dResume
+		st.dPop += dPop
+		out = append(out, st)
+	}
+	return mergeStates(out)
+}
+
+// checkExit verifies one exit point: with deferred closers applied, every
+// opener must be balanced.
+func (e *pengine) checkExit(pos token.Pos, states []pstate) {
+	for _, st := range states {
+		switch eb := int(st.begin) - int(st.dEnd); {
+		case eb > 0:
+			e.report(pos, "AttrSink Begin does not reach End/Drop on this path")
+		case eb < 0:
+			e.report(pos, "deferred AttrSink End/Drop without a matching Begin on this path")
+		}
+		switch es := int(st.susp) - int(st.dResume); {
+		case es > 0:
+			e.report(pos, "AttrSink Suspend is not balanced by Resume on this path")
+		case es < 0:
+			e.report(pos, "deferred AttrSink Resume without a matching Suspend on this path")
+		}
+		switch ew := int(st.work) - int(st.dPop); {
+		case ew > 0:
+			e.report(pos, "AttrSink PushWorker is not balanced by PopWorker on this path")
+		case ew < 0:
+			e.report(pos, "deferred AttrSink PopWorker without a matching PushWorker on this path")
+		}
+	}
+}

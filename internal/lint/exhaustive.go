@@ -1,0 +1,297 @@
+// The exhaustive rule, in two halves.
+//
+// Zone-state switches: the ZNS zone state machine (internal/zns) is the
+// spec-mandated core of the whole comparison; a switch over a zns enum type
+// that silently ignores a state is exactly how an Offline zone ends up
+// counted as writable. Any switch anywhere in the module whose tag is a
+// named integer type declared in internal/zns must either list every
+// declared constant of that type or carry a default clause.
+//
+// Experiment registry: every registered Experiment ID must be a string
+// literal, so duplicates, malformed IDs, and series holes (E9 gone missing)
+// are lint findings rather than a startup panic — statically subsuming the
+// runtime core.CheckRegistry.
+
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func checkExhaustive(pkgs []*Package, rep func(*Package) *reporter) {
+	for _, p := range pkgs {
+		checkZoneSwitches(p, rep(p))
+	}
+	checkRegistryLiterals(pkgs, rep)
+}
+
+// ---------------------------------------------------------------------------
+// Zone-state switch coverage.
+
+// enumInfo is one checkable enum type: its display name and declared
+// constants in value order.
+type enumInfo struct {
+	display string
+	consts  []enumConst
+}
+
+type enumConst struct {
+	name string
+	val  constant.Value
+}
+
+// znsEnum resolves a switch tag type to a checkable zns enum, or nil. The
+// defining package's scope is enumerated for constants of exactly this named
+// type — this works identically whether the package was loaded from source
+// or from export data.
+func znsEnum(t types.Type) *enumInfo {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil || !strings.HasSuffix(n.Obj().Pkg().Path(), "internal/zns") {
+		return nil
+	}
+	b, ok := n.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	info := &enumInfo{display: shortPkg(n.Obj().Pkg().Path()) + "." + n.Obj().Name()}
+	scope := n.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		cn := namedOf(c.Type())
+		if cn == nil || cn.Obj() != n.Obj() {
+			continue
+		}
+		info.consts = append(info.consts, enumConst{name: name, val: c.Val()})
+	}
+	if len(info.consts) == 0 {
+		return nil
+	}
+	sort.Slice(info.consts, func(i, j int) bool {
+		if constant.Compare(info.consts[i].val, token.LSS, info.consts[j].val) {
+			return true
+		}
+		if constant.Compare(info.consts[i].val, token.GTR, info.consts[j].val) {
+			return false
+		}
+		return info.consts[i].name < info.consts[j].name
+	})
+	return info
+}
+
+func checkZoneSwitches(p *Package, r *reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(nd ast.Node) bool {
+			sw, ok := nd.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := p.Info.Types[sw.Tag]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			enum := znsEnum(tv.Type)
+			if enum == nil {
+				return true
+			}
+			covered := make(map[string]bool)
+			for _, cl := range sw.Body.List {
+				cc, ok := cl.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // default clause: exhaustive by construction
+				}
+				for _, x := range cc.List {
+					v := p.Info.Types[x].Value
+					if v == nil {
+						return true // dynamic case expression: not checkable
+					}
+					for _, c := range enum.consts {
+						if constant.Compare(v, token.EQL, c.val) {
+							covered[c.name] = true
+						}
+					}
+				}
+			}
+			var missing []string
+			for _, c := range enum.consts {
+				if !covered[c.name] {
+					missing = append(missing, c.name)
+				}
+			}
+			if len(missing) > 0 {
+				r.findf(sw.Pos(), "exhaustive", "switch on %s does not cover %s — add the missing cases or a default",
+					enum.display, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Experiment-registry literal checks.
+
+type regEntry struct {
+	id  string
+	pos token.Pos
+	p   *Package
+}
+
+// checkRegistryLiterals finds every register(Experiment{...}) call and
+// validates the ID space the way the runtime CheckRegistry does — but at
+// lint time, against the literals.
+func checkRegistryLiterals(pkgs []*Package, rep func(*Package) *reporter) {
+	var entries []regEntry
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(nd ast.Node) bool {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeOf(p, call)
+				if fn == nil || !strings.EqualFold(fn.Name(), "register") {
+					return true
+				}
+				lit := experimentLiteral(p, call.Args[0])
+				if lit == nil {
+					return true
+				}
+				idExpr := experimentIDExpr(p, lit)
+				bl, isLit := idExpr.(*ast.BasicLit)
+				if idExpr == nil || !isLit || bl.Kind != token.STRING {
+					rep(p).findf(lit.Pos(), "exhaustive", "experiment ID in register(...) must be a string literal so the registry is statically checkable")
+					return true
+				}
+				id, err := strconv.Unquote(bl.Value)
+				if err != nil {
+					return true
+				}
+				entries = append(entries, regEntry{id: id, pos: bl.Pos(), p: p})
+				return true
+			})
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+	// Deterministic order: by source position.
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].p.Fset.Position(entries[i].pos), entries[j].p.Fset.Position(entries[j].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	seen := make(map[string]regEntry)
+	series := make(map[string][]seriesNum)
+	for _, e := range entries {
+		id := strings.ToUpper(e.id)
+		if first, dup := seen[id]; dup {
+			rep(e.p).findf(e.pos, "exhaustive", "duplicate experiment ID %q (first registered at %s)",
+				e.id, relPos(first.p, first.pos))
+			continue
+		}
+		seen[id] = e
+		i := 0
+		for i < len(id) && (id[i] < '0' || id[i] > '9') {
+			i++
+		}
+		n, err := strconv.Atoi(id[i:])
+		if err != nil || i == 0 || n <= 0 {
+			rep(e.p).findf(e.pos, "exhaustive", "malformed experiment ID %q — want <series><number>, e.g. E4", e.id)
+			continue
+		}
+		series[id[:i]] = append(series[id[:i]], seriesNum{n: n, e: e})
+	}
+	var names []string
+	for s := range series {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		nums := series[s]
+		sort.Slice(nums, func(i, j int) bool { return nums[i].n < nums[j].n })
+		for i, sn := range nums {
+			if sn.n != i+1 {
+				rep(sn.e.p).findf(sn.e.pos, "exhaustive", "experiment series %s has a hole: %s%d is missing (have %s%d..%s%d)",
+					s, s, i+1, s, nums[0].n, s, nums[len(nums)-1].n)
+				break
+			}
+		}
+	}
+}
+
+type seriesNum struct {
+	n int
+	e regEntry
+}
+
+func relPos(p *Package, pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	name := position.Filename
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(position.Line)
+}
+
+// experimentLiteral unwraps arg to a composite literal of a struct type
+// named Experiment, or nil.
+func experimentLiteral(p *Package, arg ast.Expr) *ast.CompositeLit {
+	arg = ast.Unparen(arg)
+	if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		arg = ast.Unparen(un.X)
+	}
+	lit, ok := arg.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	tv, ok := p.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	n := namedOf(tv.Type)
+	if n == nil || n.Obj().Name() != "Experiment" {
+		return nil
+	}
+	if _, isStruct := n.Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return lit
+}
+
+// experimentIDExpr extracts the ID field's value from the literal, keyed or
+// positional.
+func experimentIDExpr(p *Package, lit *ast.CompositeLit) ast.Expr {
+	tv := p.Info.Types[lit]
+	st, _ := namedOf(tv.Type).Underlying().(*types.Struct)
+	keyed := false
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "ID" {
+				return ast.Unparen(kv.Value)
+			}
+		}
+	}
+	if keyed || st == nil {
+		return nil
+	}
+	for i := 0; i < st.NumFields() && i < len(lit.Elts); i++ {
+		if st.Field(i).Name() == "ID" {
+			return ast.Unparen(lit.Elts[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+// simlint -fix-dryrun: list the findings the tool knows how to fix
+// mechanically, with the fix it would apply. No file is modified — the
+// project's fixes go through review like everything else; the dry run exists
+// so a wall of nilguard/exhaustive findings can be triaged as "mechanical"
+// vs "think about it".
+
+package lint
+
+import (
+	"fmt"
+	"regexp"
+)
+
+var (
+	nilGuardMsgRe  = regexp.MustCompile("exported method \\(\\*([A-Za-z0-9_]+)\\)\\.([A-Za-z0-9_]+) must start with a nil-receiver guard \\(`if ([A-Za-z0-9_]+) == nil")
+	missingCasesRe = regexp.MustCompile("switch on ([A-Za-z0-9_.]+) does not cover ([A-Za-z0-9_, ]+) —")
+)
+
+// FixDryRun renders the auto-fixable subset of findings as the edits a fixer
+// would make: guard-first nil checks and missing switch cases.
+func FixDryRun(findings []Finding, root string) []string {
+	var out []string
+	for _, f := range findings {
+		loc := fmt.Sprintf("%s:%d", relFile(f.Pos.Filename, root), f.Pos.Line)
+		switch f.Rule {
+		case "nilguard":
+			if m := nilGuardMsgRe.FindStringSubmatch(f.Msg); m != nil {
+				out = append(out, fmt.Sprintf("%s: [nilguard] would insert guard-first `if %s == nil { return ... }` at the top of (*%s).%s", loc, m[3], m[1], m[2]))
+			}
+		case "exhaustive":
+			if m := missingCasesRe.FindStringSubmatch(f.Msg); m != nil {
+				out = append(out, fmt.Sprintf("%s: [exhaustive] would add `case %s:` to the switch on %s", loc, m[2], m[1]))
+			}
+		}
+	}
+	return out
+}

@@ -32,6 +32,18 @@
 //     `//simlint:nilsafe` directive) must start with a nil-receiver guard.
 //   - tickunit: time.Duration must not leak into sim-core tick arithmetic,
 //     and nothing may convert directly between time.Duration and sim.Time.
+//   - shardcheck (interprocedural): every mutable field/package var written
+//     from a per-LUN code path must be indexed by a shard key on all access
+//     paths, or carry a //simlint:shared <reason> carve-out; the resulting
+//     classification is the affinity report (simlint -affinity) — the
+//     contract for the planned channel-sharded parallel scheduler.
+//   - pairing (path-sensitive): AttrSink bracket discipline — Begin reaches
+//     End/Drop on all paths, Suspend/Resume and PushWorker/PopWorker balance
+//     on every path including early returns, charges only inside an open
+//     bracket.
+//   - exhaustive: switches on internal/zns enum types must cover every
+//     declared state or carry a default; experiment registry IDs must be
+//     string literals forming a unique, well-formed, hole-free ID space.
 //
 // Deliberate violations are silenced with an allow directive on the same
 // line or the line above:
@@ -75,6 +87,9 @@ func Rules() []RuleDoc {
 		{"concurrency", "no goroutines, channels, select, or sync primitives outside telemetry/httpserve, cmd/, and examples/"},
 		{"nilguard", "exported pointer-receiver methods on instrument types must begin with a nil-receiver guard"},
 		{"tickunit", "no time.Duration in sim-core tick arithmetic; no direct time.Duration<->sim.Time conversion"},
+		{"shardcheck", "interprocedural: per-LUN code paths may only write shard-keyed state; cross-shard writes need a //simlint:shared <reason> carve-out (report: simlint -affinity)"},
+		{"pairing", "AttrSink bracket discipline on every path: Begin reaches End/Drop, Suspend/Resume and PushWorker/PopWorker balance, charges land inside an open bracket"},
+		{"exhaustive", "switches on internal/zns enum types cover every state or carry a default; experiment registry IDs are literal, unique, well-formed, and hole-free"},
 		{"allow", "meta: every //simlint:allow must name a known rule, carry a reason, and suppress a real finding"},
 	}
 }
@@ -140,7 +155,10 @@ type reporter struct {
 }
 
 func (r *reporter) findf(pos token.Pos, rule, format string, args ...interface{}) {
-	position := r.p.Fset.Position(pos)
+	r.findfAt(r.p.Fset.Position(pos), rule, format, args...)
+}
+
+func (r *reporter) findfAt(position token.Position, rule, format string, args ...interface{}) {
 	key := fmt.Sprintf("%s:%d:%s", position.Filename, position.Line, rule)
 	if r.seen == nil {
 		r.seen = make(map[string]bool)
@@ -155,14 +173,40 @@ func (r *reporter) findf(pos token.Pos, rule, format string, args ...interface{}
 // Check runs every rule over the packages and returns the surviving findings
 // (allow directives applied), sorted by position.
 func Check(pkgs []*Package) []Finding {
-	var all []Finding
+	findings, _ := checkAll(pkgs)
+	return findings
+}
+
+// checkAll is Check plus the shardcheck classification, which the affinity
+// report renders.
+func checkAll(pkgs []*Package) ([]Finding, *shardResult) {
+	reps := make(map[string]*reporter, len(pkgs))
+	rep := func(p *Package) *reporter {
+		r := reps[p.Path]
+		if r == nil {
+			r = &reporter{p: p}
+			reps[p.Path] = r
+		}
+		return r
+	}
 	for _, p := range pkgs {
-		r := &reporter{p: p}
+		r := rep(p)
 		checkDeterminism(p, r)
 		checkConcurrency(p, r)
 		checkNilGuard(p, r)
 		checkTickUnit(p, r)
-		all = append(all, applyAllows(p, r.findings)...)
+	}
+	m := buildModule(pkgs)
+	res := checkShard(m, rep)
+	checkPairing(m, rep)
+	checkExhaustive(pkgs, rep)
+	var all []Finding
+	for _, p := range pkgs {
+		var found []Finding
+		if r := reps[p.Path]; r != nil {
+			found = r.findings
+		}
+		all = append(all, applyAllows(p, found)...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -177,7 +221,7 @@ func Check(pkgs []*Package) []Finding {
 		}
 		return a.Msg < b.Msg
 	})
-	return all
+	return all, res
 }
 
 type allowDirective struct {
@@ -205,12 +249,14 @@ func applyAllows(p *Package, findings []Finding) []Finding {
 					meta = append(meta, Finding{pos, "allow", "bare //simlint: directive; expected //simlint:allow <rule> <reason> or //simlint:nilsafe"})
 				case fields[0] == "nilsafe":
 					// Type marker, consumed by the nilguard rule.
+				case fields[0] == "shared":
+					// Shard carve-out, consumed (and validated) by shardcheck.
 				case fields[0] != "allow":
-					meta = append(meta, Finding{pos, "allow", fmt.Sprintf("unknown //simlint: directive %q (directives: allow, nilsafe)", fields[0])})
+					meta = append(meta, Finding{pos, "allow", fmt.Sprintf("unknown //simlint: directive %q (directives: allow, nilsafe, shared)", fields[0])})
 				case len(fields) == 1:
 					meta = append(meta, Finding{pos, "allow", "//simlint:allow needs a rule and a reason: //simlint:allow <rule> <reason>"})
 				case !knownRule(fields[1]):
-					meta = append(meta, Finding{pos, "allow", fmt.Sprintf("unknown rule %q in //simlint:allow (rules: determinism, concurrency, nilguard, tickunit)", fields[1])})
+					meta = append(meta, Finding{pos, "allow", fmt.Sprintf("unknown rule %q in //simlint:allow (rules: determinism, concurrency, nilguard, tickunit, shardcheck, pairing, exhaustive)", fields[1])})
 				default:
 					a := &allowDirective{pos: pos, rule: fields[1]}
 					if len(fields) == 2 {

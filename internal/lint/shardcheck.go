@@ -1,0 +1,1040 @@
+// The shardcheck rule: the static half of the ROADMAP's parallel-core plan.
+// The future scheduler shards the simulator by flash channel (a shard owns
+// its channel bus, the LUNs behind it, and their blocks), so every mutable
+// field and package var reachable from sim-core must be provably shard-local
+// — indexed by a shard key (lun/die, channel, block) on every write path —
+// or explicitly carved out with //simlint:shared <reason>. Writes to
+// anything else from a per-LUN code path are findings, and the resulting
+// classification is emitted as the affinity report (simlint -affinity).
+//
+// The analysis is deliberately name-and-dataflow based rather than a full
+// points-to analysis: shard keys are recognized lexically (lun, die, ch,
+// channel, block, blk, victim, z, zone, plus suffix forms) and propagated
+// through local assignments, arithmetic, and the geometry mapping calls
+// (LUNOfBlock/ChannelOfLUN/ChannelOfBlock). Writes through pointer
+// parameters and dynamic (interface) calls are out of scope; the affinity
+// report documents both limits.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// keyClass classifies an index expression by the shard key it carries.
+// The order encodes specificity: block pins hardest (one block lives on
+// exactly one LUN).
+type keyClass int
+
+const (
+	keyNone  keyClass = iota // not a shard key
+	keyRange                 // a range-statement index: a sweep over every element
+	keyZone                  // zone id — a zone stripes across channels, so cross-shard
+	keyChan                  // channel id
+	keyLUN                   // LUN / die id
+	keyBlock                 // block id
+)
+
+func (k keyClass) String() string {
+	switch k {
+	case keyRange:
+		return "range"
+	case keyZone:
+		return "zone"
+	case keyChan:
+		return "chan"
+	case keyLUN:
+		return "lun"
+	case keyBlock:
+		return "block"
+	}
+	return "none"
+}
+
+// shardSafe reports whether an index of this class pins the access to one
+// channel shard. Blocks and LUNs nest inside their channel; zones stripe
+// across all channels.
+func (k keyClass) shardSafe() bool {
+	return k == keyLUN || k == keyChan || k == keyBlock
+}
+
+// nameClass is the shard-key lexicon. Exact names first, then suffix forms
+// (srcBlock, dstLun, hotZone ...).
+func nameClass(name string) keyClass {
+	lower := strings.ToLower(name)
+	switch lower {
+	case "lun", "die":
+		return keyLUN
+	case "ch", "channel":
+		return keyChan
+	case "block", "blk", "victim":
+		return keyBlock
+	case "z", "zone", "zid":
+		return keyZone
+	}
+	switch {
+	case strings.HasSuffix(lower, "lun"):
+		return keyLUN
+	case strings.HasSuffix(lower, "block"):
+		return keyBlock
+	case strings.HasSuffix(lower, "channel"), strings.HasSuffix(lower, "chan"):
+		return keyChan
+	case strings.HasSuffix(lower, "zone"):
+		return keyZone
+	}
+	return keyNone
+}
+
+// writeRoot says what a write effect is anchored to.
+type writeRoot int
+
+const (
+	rootNone    writeRoot = iota
+	rootRecv              // a field of the method's own receiver
+	rootGlobal            // a package-level var
+	rootPointee           // a field of an object shared through a pointer field
+)
+
+// writeEff is one resolved write effect.
+type writeEff struct {
+	pos     token.Pos
+	ref     stateRef
+	root    writeRoot
+	indexed bool
+	idx     keyClass
+}
+
+// keyedSafe reports whether this single write stays inside one shard.
+func (w writeEff) keyedSafe() bool { return w.indexed && w.idx.shardSafe() }
+
+// recvShape classifies a method call's receiver for effect mapping.
+type recvShape int
+
+const (
+	recvNone         recvShape = iota
+	recvIsCallerRecv           // called on the enclosing method's own receiver
+	recvIsShardElem            // called on a shard-keyed element (d.luns[lun])
+	recvIsCrossElem            // called on an element reached without a shard key
+	recvIsFieldPtr             // called through a shared field or package var (d.attr)
+	recvIsOther                // local, parameter, call result — unattributable
+)
+
+// callEff is one resolved call site.
+type callEff struct {
+	pos    token.Pos
+	callee funcKey
+	shape  recvShape
+	elem   stateRef // container field (elem shapes); package var (field-ptr on a var)
+	idx    keyClass // index class for the elem shapes
+}
+
+// fnScan is the single-pass intraprocedural scan of one function: shard-key
+// classes of locals, aliases into container state, resolved write effects,
+// and resolved call sites. Both the summary fixpoint and the per-LUN context
+// check consume it.
+type fnScan struct {
+	node    *funcNode
+	classOf map[types.Object]keyClass
+	aliases map[types.Object]writeEff // local -> the location it aliases
+	recvObj types.Object
+	writes  []writeEff
+	calls   []callEff
+	// context: the function runs on a per-LUN code path — it has an integer
+	// lun/channel parameter or derives one via the geometry mappers.
+	context bool
+}
+
+func scanFunc(n *funcNode) *fnScan {
+	s := &fnScan{node: n, classOf: map[types.Object]keyClass{}, aliases: map[types.Object]writeEff{}}
+	if n.decl.Recv != nil && len(n.decl.Recv.List) > 0 && len(n.decl.Recv.List[0].Names) > 0 {
+		s.recvObj = n.pkg.Info.Defs[n.decl.Recv.List[0].Names[0]]
+	}
+	if n.decl.Type.Params != nil {
+		for _, f := range n.decl.Type.Params.List {
+			for _, name := range f.Names {
+				obj := n.pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if c := nameClass(name.Name); (c == keyLUN || c == keyChan) && isIntLike(obj.Type()) {
+					s.context = true
+				}
+			}
+		}
+	}
+	s.walkBody(n.decl.Body)
+	return s
+}
+
+func isIntLike(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// walkBody visits statements in source order; Go's declare-before-use rule
+// means one pass suffices for local dataflow.
+func (s *fnScan) walkBody(body ast.Node) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch st := nd.(type) {
+		case *ast.AssignStmt:
+			s.assign(st)
+		case *ast.IncDecStmt:
+			s.write(st.X, st.Pos())
+		case *ast.RangeStmt:
+			if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" {
+				if obj := s.node.pkg.Info.Defs[id]; obj != nil {
+					s.classOf[obj] = keyRange
+				}
+			}
+		case *ast.CallExpr:
+			s.call(st)
+		}
+		return true
+	})
+}
+
+func (s *fnScan) assign(st *ast.AssignStmt) {
+	aliasDef := map[ast.Expr]bool{}
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := s.node.pkg.Info.Defs[id]
+			if obj == nil {
+				obj = s.node.pkg.Info.Uses[id]
+			}
+			if obj == nil || !s.isLocal(obj) {
+				continue
+			}
+			rhs := ast.Unparen(st.Rhs[i])
+			// &d.blocks[block] or a slice/map header copy: the local aliases
+			// the container; writes through it are container writes.
+			target := rhs
+			if un, isAddr := rhs.(*ast.UnaryExpr); isAddr && un.Op == token.AND {
+				target = ast.Unparen(un.X)
+			}
+			if eff, ok := s.resolvePath(target); ok && eff.root != rootNone && aliasable(s.node.pkg, target, rhs) {
+				s.aliases[obj] = eff
+				aliasDef[lhs] = true
+				continue
+			}
+			if c := s.classExpr(st.Rhs[i]); c != keyNone {
+				s.classOf[obj] = c
+			}
+		}
+	}
+	for _, lhs := range st.Lhs {
+		if !aliasDef[lhs] {
+			s.write(lhs, st.Pos())
+		}
+	}
+}
+
+// aliasable reports whether assigning rhs creates a live alias into the
+// resolved container: taking an element's address, or copying a slice, map,
+// or pointer value (which shares the pointed-to store). Copying a plain
+// struct value does not alias.
+func aliasable(p *Package, target, rhs ast.Expr) bool {
+	if un, ok := rhs.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		return true
+	}
+	tv, ok := p.Info.Types[target]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+func (s *fnScan) isLocal(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || obj == s.recvObj {
+		return false
+	}
+	return !isPkgVar(obj)
+}
+
+func isPkgVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// classExpr computes the shard-key class an expression carries.
+func (s *fnScan) classExpr(e ast.Expr) keyClass {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := s.node.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = s.node.pkg.Info.Defs[e]
+		}
+		return s.classObj(obj)
+	case *ast.BinaryExpr:
+		return maxClass(s.classExpr(e.X), s.classExpr(e.Y))
+	case *ast.UnaryExpr:
+		return s.classExpr(e.X)
+	case *ast.CallExpr:
+		if fn := calleeOf(s.node.pkg, e); fn != nil {
+			switch fn.Name() {
+			case "LUNOfBlock":
+				return keyLUN
+			case "ChannelOfLUN", "ChannelOfBlock":
+				return keyChan
+			}
+		}
+		// Conversions and index-derivation helpers (pageIndex(block, page))
+		// keep the strongest key among their operands.
+		c := keyNone
+		for _, a := range e.Args {
+			c = maxClass(c, s.classExpr(a))
+		}
+		return c
+	}
+	return keyNone
+}
+
+func (s *fnScan) classObj(obj types.Object) keyClass {
+	if obj == nil {
+		return keyNone
+	}
+	if c, ok := s.classOf[obj]; ok {
+		return c
+	}
+	if _, ok := obj.(*types.Var); ok {
+		return nameClass(obj.Name())
+	}
+	return keyNone
+}
+
+// maxClass picks the more shard-specific of two classes.
+func maxClass(a, b keyClass) keyClass {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// call records one call site's effect shape. A geometry-mapper call also
+// marks the function as a per-LUN context.
+func (s *fnScan) call(call *ast.CallExpr) {
+	fn := calleeOf(s.node.pkg, call)
+	if fn == nil {
+		return
+	}
+	key, ok := keyOfFunc(fn)
+	if !ok {
+		return
+	}
+	if key.name == "LUNOfBlock" || key.name == "ChannelOfLUN" {
+		s.context = true
+	}
+	eff := callEff{pos: call.Pos(), callee: key, shape: recvNone}
+	if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+		eff.shape = recvIsOther
+		if sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); okSel {
+			eff.shape, eff.elem, eff.idx = s.receiverShape(sel.X)
+		}
+	}
+	s.calls = append(s.calls, eff)
+}
+
+// receiverShape classifies the receiver expression of a method call.
+func (s *fnScan) receiverShape(x ast.Expr) (recvShape, stateRef, keyClass) {
+	x = ast.Unparen(x)
+	if id, ok := x.(*ast.Ident); ok {
+		obj := s.node.pkg.Info.Uses[id]
+		if obj == nil {
+			obj = s.node.pkg.Info.Defs[id]
+		}
+		switch {
+		case obj == nil:
+			return recvIsOther, stateRef{}, keyNone
+		case obj == s.recvObj:
+			return recvIsCallerRecv, stateRef{}, keyNone
+		case isPkgVar(obj):
+			return recvIsFieldPtr, stateRef{pkg: obj.Pkg().Path(), field: obj.Name()}, keyNone
+		}
+		if eff, ok := s.aliases[obj]; ok {
+			return shapeOfEff(eff), eff.ref, eff.idx
+		}
+		return recvIsOther, stateRef{}, keyNone
+	}
+	if eff, ok := s.resolvePath(x); ok && eff.root != rootNone {
+		return shapeOfEff(eff), eff.ref, eff.idx
+	}
+	return recvIsOther, stateRef{}, keyNone
+}
+
+func shapeOfEff(eff writeEff) recvShape {
+	if eff.indexed {
+		if eff.idx.shardSafe() {
+			return recvIsShardElem
+		}
+		return recvIsCrossElem
+	}
+	// Unindexed field (d.attr, d.counts): the callee's receiver writes land
+	// on the field's named type, shared through the container.
+	return recvIsFieldPtr
+}
+
+// write resolves one lvalue and records its effect.
+func (s *fnScan) write(lv ast.Expr, pos token.Pos) {
+	eff, ok := s.resolvePath(lv)
+	if !ok || eff.root == rootNone {
+		return
+	}
+	eff.pos = pos
+	s.writes = append(s.writes, eff)
+}
+
+// resolvePath walks an access path (selectors, indexes, derefs) down to its
+// root and maps it to a state reference:
+//
+//	d.blocks[block].sealed  -> (flash.Device, blocks) indexed by block
+//	d.counts.Reads          -> (flash.Device, counts) whole
+//	s.rec.seq               -> pointer-field hop: (AttrSink's pointee, seq)
+//	registry                -> package var, rootGlobal
+//	locals / param values   -> no effect
+func (s *fnScan) resolvePath(e ast.Expr) (writeEff, bool) {
+	type step struct {
+		field *ast.SelectorExpr
+		idx   ast.Expr // nil for a selector step
+	}
+	var path []step
+walk:
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			path = append(path, step{field: x})
+			e = x.X
+		case *ast.IndexExpr:
+			path = append(path, step{idx: x.Index})
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			e = x
+			break walk
+		}
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return writeEff{}, false
+	}
+	obj := s.node.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = s.node.pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return writeEff{}, false
+	}
+	// path was collected outside-in; reverse to walk from the root.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+
+	var eff writeEff
+	switch {
+	case s.recvObj != nil && obj == s.recvObj:
+		eff.root = rootRecv
+	case isPkgVar(obj):
+		eff.root = rootGlobal
+		eff.ref = stateRef{pkg: obj.Pkg().Path(), field: obj.Name()}
+		if len(path) > 0 && path[0].idx != nil {
+			eff.indexed = true
+			eff.idx = s.classExpr(path[0].idx)
+		}
+		return eff, true
+	default:
+		if a, ok := s.aliases[obj]; ok {
+			eff = a
+			if !eff.indexed && len(path) > 0 && path[0].idx != nil {
+				eff.indexed = true
+				eff.idx = s.classExpr(path[0].idx)
+			}
+			return eff, true
+		}
+		return writeEff{}, false // plain local or parameter value
+	}
+
+	// Receiver-rooted: the first selector picks the field.
+	if len(path) == 0 || path[0].field == nil {
+		return writeEff{}, false // the receiver itself, not module state
+	}
+	fieldSel := path[0].field
+	recvNamed := namedOf(s.node.pkg.Info.Types[fieldSel.X].Type)
+	if recvNamed == nil || recvNamed.Obj().Pkg() == nil {
+		return writeEff{}, false
+	}
+	eff.ref = stateRef{pkg: recvNamed.Obj().Pkg().Path(), typ: recvNamed.Obj().Name(), field: fieldSel.Sel.Name}
+	rest := path[1:]
+	if len(rest) > 0 && rest[0].idx != nil {
+		eff.indexed = true
+		eff.idx = s.classExpr(rest[0].idx)
+		return eff, true
+	}
+	if len(rest) > 0 && rest[0].field != nil {
+		// A further selector without an index: a sub-field of a struct value
+		// stays the receiver's memory; a hop through a pointer field escapes
+		// to the pointee type.
+		ft := s.node.pkg.Info.Types[fieldSel].Type
+		if ft != nil {
+			if _, isPtr := ft.Underlying().(*types.Pointer); isPtr {
+				pn := namedOf(ft)
+				if pn == nil || pn.Obj().Pkg() == nil {
+					return writeEff{}, false
+				}
+				eff.root = rootPointee
+				eff.ref = stateRef{pkg: pn.Obj().Pkg().Path(), typ: pn.Obj().Name(), field: rest[0].field.Sel.Name}
+			}
+		}
+	}
+	return eff, true
+}
+
+// ---------------------------------------------------------------------------
+// Shared-state annotations: //simlint:shared <reason> on a struct field or a
+// type declaration carves the state out of the shard model on purpose. The
+// directive is linted like allow: the reason is mandatory and the annotation
+// must cover state that is actually written.
+
+type sharedAnn struct {
+	pos    token.Position
+	ref    stateRef // field == "*": the whole type
+	reason string
+	used   bool
+}
+
+func sharedDirective(cg *ast.CommentGroup) (*ast.Comment, string, bool) {
+	if cg == nil {
+		return nil, "", false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, "//simlint:shared") {
+			return c, strings.TrimSpace(strings.TrimPrefix(c.Text, "//simlint:shared")), true
+		}
+	}
+	return nil, "", false
+}
+
+// collectShared parses shared directives from type and field declarations.
+func collectShared(p *Package) []*sharedAnn {
+	var anns []*sharedAnn
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				typeRef := stateRef{pkg: p.Path, typ: ts.Name.Name, field: "*"}
+				for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					if c, reason, ok := sharedDirective(cg); ok {
+						anns = append(anns, &sharedAnn{pos: p.Fset.Position(c.Pos()), ref: typeRef, reason: reason})
+					}
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, fl := range st.Fields.List {
+					for _, cg := range []*ast.CommentGroup{fl.Doc, fl.Comment} {
+						c, reason, ok := sharedDirective(cg)
+						if !ok {
+							continue
+						}
+						if len(fl.Names) == 0 {
+							anns = append(anns, &sharedAnn{pos: p.Fset.Position(c.Pos()), ref: typeRef, reason: reason})
+							continue
+						}
+						for _, name := range fl.Names {
+							anns = append(anns, &sharedAnn{
+								pos: p.Fset.Position(c.Pos()), reason: reason,
+								ref: stateRef{pkg: p.Path, typ: ts.Name.Name, field: name.Name},
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return anns
+}
+
+// sharedSet indexes annotations for lookup during the check phase.
+type sharedSet struct {
+	byRef map[stateRef]*sharedAnn
+	all   []*sharedAnn
+}
+
+func buildSharedSet(pkgs []*Package) *sharedSet {
+	ss := &sharedSet{byRef: map[stateRef]*sharedAnn{}}
+	for _, p := range pkgs {
+		for _, a := range collectShared(p) {
+			ss.all = append(ss.all, a)
+			if _, dup := ss.byRef[a.ref]; !dup {
+				ss.byRef[a.ref] = a
+			}
+		}
+	}
+	return ss
+}
+
+// lookup finds the annotation covering ref — the exact field, its container
+// type, or the named type of the state itself — without marking it used.
+func (ss *sharedSet) lookup(ref stateRef, stateType *types.Named) *sharedAnn {
+	if a, ok := ss.byRef[ref]; ok {
+		return a
+	}
+	if ref.typ != "" {
+		if a, ok := ss.byRef[stateRef{pkg: ref.pkg, typ: ref.typ, field: "*"}]; ok {
+			return a
+		}
+	}
+	if stateType != nil && stateType.Obj().Pkg() != nil {
+		if a, ok := ss.byRef[stateRef{pkg: stateType.Obj().Pkg().Path(), typ: stateType.Obj().Name(), field: "*"}]; ok {
+			return a
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// The rule driver.
+
+// shardResult carries the classification produced as a side effect of the
+// rule, consumed by the affinity report.
+type shardResult struct {
+	mod      *module
+	shared   *sharedSet
+	classes  map[stateRef]affinity
+	reasons  map[stateRef]string
+	evidence map[stateRef]map[keyClass]bool
+	whole    map[stateRef]writeRoot // strongest unkeyed-write root seen
+	contexts []funcKey              // per-LUN context functions, sorted
+}
+
+// checkShard runs the shardcheck rule over the module. Findings go through
+// rep (a per-package reporter factory); the returned classification feeds
+// the affinity report.
+func checkShard(m *module, rep func(*Package) *reporter) *shardResult {
+	computeSummaries(m)
+	res := &shardResult{
+		mod: m, shared: buildSharedSet(m.pkgs),
+		classes:  map[stateRef]affinity{},
+		reasons:  map[stateRef]string{},
+		evidence: map[stateRef]map[keyClass]bool{},
+		whole:    map[stateRef]writeRoot{},
+	}
+
+	// Evidence pass: every write anywhere (setup functions excluded) feeds a
+	// state ref's observed key classes.
+	for _, k := range m.order {
+		n := m.funcs[k]
+		if exemptSetup(k) {
+			continue
+		}
+		for _, w := range n.scan.writes {
+			res.observe(w)
+		}
+		for _, c := range n.scan.calls {
+			callee, ok := m.funcs[c.callee]
+			if !ok || !writesRecv(callee.sum) {
+				continue
+			}
+			if c.shape == recvIsShardElem || c.shape == recvIsCrossElem {
+				// A writing method on a container element is element-write
+				// evidence for the container field.
+				res.observe(writeEff{ref: c.elem, root: rootRecv, indexed: true, idx: c.idx})
+			}
+		}
+	}
+	res.classify()
+
+	// Check pass: per-LUN context functions in sim-core packages.
+	for _, k := range m.order {
+		n := m.funcs[k]
+		if !n.scan.context || !isSimCore(n.pkg.Path) || exemptSetup(k) {
+			continue
+		}
+		res.contexts = append(res.contexts, k)
+		r := rep(n.pkg)
+		for _, w := range n.scan.writes {
+			res.judgeWrite(r, w)
+		}
+		for _, c := range n.scan.calls {
+			res.judgeCall(r, c)
+		}
+	}
+
+	// Annotation hygiene: a shared carve-out must carry a reason and must
+	// cover state something writes.
+	for _, a := range res.shared.all {
+		p := pkgOf(m, a.ref.pkg)
+		if p == nil {
+			continue
+		}
+		r := rep(p)
+		if a.reason == "" {
+			r.findfAt(a.pos, "allow", "//simlint:shared is missing a reason — name why this state must stay cross-shard")
+		}
+		if !a.used && !res.written(a.ref) {
+			r.findfAt(a.pos, "allow", "unused //simlint:shared on %s — nothing writes this state", a.ref)
+		}
+	}
+	return res
+}
+
+func writesRecv(s *summary) bool { return len(s.recv) > 0 }
+
+func pkgOf(m *module, path string) *Package {
+	for _, p := range m.pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// exemptSetup: constructors, init, and attach/configure entry points wire
+// objects up outside the per-LUN hot path; their writes are neither
+// affinity evidence nor findings.
+func exemptSetup(k funcKey) bool {
+	return k.name == "init" || strings.HasPrefix(k.name, "New") ||
+		strings.HasPrefix(k.name, "Set") || strings.HasPrefix(k.name, "Enable") ||
+		strings.HasPrefix(k.name, "Attach")
+}
+
+func (res *shardResult) observe(w writeEff) {
+	if w.ref == (stateRef{}) {
+		return
+	}
+	if w.indexed {
+		ev := res.evidence[w.ref]
+		if ev == nil {
+			ev = map[keyClass]bool{}
+			res.evidence[w.ref] = ev
+		}
+		ev[w.idx] = true
+		return
+	}
+	if w.root > res.whole[w.ref] {
+		res.whole[w.ref] = w.root
+	}
+}
+
+// written reports whether any write evidence exists for ref (for a
+// type-level "*" ref, for any field of the type).
+func (res *shardResult) written(ref stateRef) bool {
+	if ref.field != "*" {
+		return len(res.evidence[ref]) > 0 || res.whole[ref] != rootNone
+	}
+	sameType := func(r stateRef) bool {
+		return (r.pkg == ref.pkg && r.typ == ref.typ) || res.typeOfStateIs(r, ref)
+	}
+	for r := range res.evidence {
+		if sameType(r) {
+			return true
+		}
+	}
+	for r := range res.whole {
+		if sameType(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeOfStateIs reports whether state ref r's own named type is the type
+// named by typeRef (covers annotating telemetry.Counter while the writes
+// land on flash.Device.mReads's pointee).
+func (res *shardResult) typeOfStateIs(r, typeRef stateRef) bool {
+	n := res.namedStateType(r)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == typeRef.pkg && n.Obj().Name() == typeRef.typ
+}
+
+func (res *shardResult) classify() {
+	refs := map[stateRef]bool{}
+	for r := range res.evidence {
+		refs[r] = true
+	}
+	for r := range res.whole {
+		refs[r] = true
+	}
+	for r := range refs {
+		res.classes[r] = res.deriveClass(r)
+	}
+}
+
+func (res *shardResult) deriveClass(r stateRef) affinity {
+	if a := res.shared.lookup(r, res.namedStateType(r)); a != nil {
+		res.reasons[r] = a.reason
+		return affShared
+	}
+	ev := res.evidence[r]
+	keyed := affinity(0)
+	sawKey := false
+	for c := range ev {
+		switch c {
+		case keyNone:
+			return affGlobal
+		case keyRange:
+			// Sweeps are barrier-time whole-structure maintenance; neutral.
+		case keyZone:
+			sawKey = true
+			keyed = maxAff(keyed, affPerZone)
+		case keyChan:
+			sawKey = true
+			keyed = maxAff(keyed, affPerChan)
+		case keyLUN:
+			sawKey = true
+			keyed = maxAff(keyed, affPerLUN)
+		case keyBlock:
+			sawKey = true
+			keyed = maxAff(keyed, affPerBlock)
+		}
+	}
+	if sawKey {
+		if keyed == affPerZone && (ev[keyChan] || ev[keyLUN] || ev[keyBlock]) {
+			return affGlobal // incoherent key mix
+		}
+		return keyed
+	}
+	switch res.whole[r] {
+	case rootRecv:
+		return affInstance
+	case rootGlobal, rootPointee:
+		return affGlobal
+	}
+	return affConfig
+}
+
+// affinity is a state ref's classification in the shard model.
+type affinity int
+
+const (
+	affConfig   affinity = iota // never written outside construction
+	affInstance                 // written only whole-object through its owner
+	affPerZone
+	affPerChan
+	affPerLUN
+	affPerBlock
+	affGlobal
+	affShared
+)
+
+func maxAff(a, b affinity) affinity {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (a affinity) String() string {
+	switch a {
+	case affConfig:
+		return "config"
+	case affInstance:
+		return "instance"
+	case affPerZone:
+		return "per-zone"
+	case affPerChan:
+		return "per-chan"
+	case affPerLUN:
+		return "per-lun"
+	case affPerBlock:
+		return "per-block"
+	case affShared:
+		return "shared"
+	}
+	return "global"
+}
+
+// shardLocal reports whether state of this class may be touched freely from
+// a per-LUN code path under channel sharding.
+func (a affinity) shardLocal() bool {
+	switch a {
+	case affPerChan, affPerLUN, affPerBlock, affConfig:
+		return true
+	}
+	return false
+}
+
+// covered checks (and consumes) a shared annotation for ref.
+func (res *shardResult) covered(ref stateRef) bool {
+	if a := res.shared.lookup(ref, res.namedStateType(ref)); a != nil {
+		a.used = true
+		return true
+	}
+	return false
+}
+
+// namedStateType finds the named type of the state ref itself — for a field,
+// the field's (element) type; used for type-level annotation lookup
+// (d.attr *telemetry.AttrSink -> AttrSink).
+func (res *shardResult) namedStateType(ref stateRef) *types.Named {
+	if ref.typ == "" {
+		p := pkgOf(res.mod, ref.pkg)
+		if p == nil {
+			return nil
+		}
+		obj := p.Types.Scope().Lookup(ref.field)
+		if obj == nil {
+			return nil
+		}
+		return elemNamed(obj.Type())
+	}
+	p := pkgOf(res.mod, ref.pkg)
+	var st *types.Struct
+	if p != nil {
+		if obj := p.Types.Scope().Lookup(ref.typ); obj != nil {
+			st, _ = obj.Type().Underlying().(*types.Struct)
+		}
+	}
+	if st == nil {
+		// The type may live in a package seen only through export data.
+		for _, q := range res.mod.pkgs {
+			if obj := q.Types.Scope().Lookup(ref.typ); obj != nil && q.Path == ref.pkg {
+				st, _ = obj.Type().Underlying().(*types.Struct)
+				break
+			}
+		}
+	}
+	if st == nil {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == ref.field {
+			return elemNamed(st.Field(i).Type())
+		}
+	}
+	return nil
+}
+
+func elemNamed(t types.Type) *types.Named {
+	if n := namedOf(t); n != nil {
+		return n
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return namedOf(u.Elem())
+	case *types.Map:
+		return namedOf(u.Elem())
+	case *types.Array:
+		return namedOf(u.Elem())
+	}
+	return nil
+}
+
+// judgeWrite flags a direct write in a per-LUN context that escapes the
+// shard.
+func (res *shardResult) judgeWrite(r *reporter, w writeEff) {
+	if w.ref == (stateRef{}) {
+		return
+	}
+	if w.indexed {
+		if w.idx.shardSafe() {
+			return
+		}
+		if res.covered(w.ref) {
+			return
+		}
+		switch w.idx {
+		case keyZone:
+			r.findf(w.pos, "shardcheck", "zone-indexed write to %s from a per-LUN path — zones stripe across channel shards (annotate //simlint:shared <reason> if intended)", w.ref)
+		case keyRange:
+			r.findf(w.pos, "shardcheck", "write to %s sweeps every shard from a per-LUN path (annotate //simlint:shared <reason> if intended)", w.ref)
+		default:
+			r.findf(w.pos, "shardcheck", "write to %s is not indexed by a shard key (lun/channel/block) on this per-LUN path (annotate //simlint:shared <reason> if intended)", w.ref)
+		}
+		return
+	}
+	if res.covered(w.ref) {
+		return
+	}
+	if res.classes[w.ref].shardLocal() {
+		r.findf(w.pos, "shardcheck", "whole-object write to shard-partitioned %s from a per-LUN path (annotate //simlint:shared <reason> if intended)", w.ref)
+		return
+	}
+	r.findf(w.pos, "shardcheck", "write to %s (class %s) from a per-LUN path (annotate //simlint:shared <reason> if intended)", w.ref, res.classes[w.ref])
+}
+
+// judgeCall maps a callee's summarized effects into the caller's per-LUN
+// context.
+func (res *shardResult) judgeCall(r *reporter, c callEff) {
+	callee, ok := res.mod.funcs[c.callee]
+	if !ok {
+		return
+	}
+	for _, ref := range sortedRefs(callee.sum.globals) {
+		if callee.sum.globals[ref] || res.covered(ref) {
+			continue
+		}
+		r.findf(c.pos, "shardcheck", "call to %s writes %s (class %s) from a per-LUN path (annotate //simlint:shared <reason> if intended)", c.callee, ref, res.classes[ref])
+	}
+	judgeRecvEffects := func(refFor func(field string) stateRef) {
+		for _, f := range sortedKeys(callee.sum.recv) {
+			if callee.sum.recv[f] {
+				continue // keyed inside the callee
+			}
+			ref := refFor(f)
+			if res.classes[ref].shardLocal() || res.covered(ref) {
+				continue
+			}
+			r.findf(c.pos, "shardcheck", "call to %s writes %s (class %s) from a per-LUN path (annotate //simlint:shared <reason> if intended)", c.callee, ref, res.classes[ref])
+		}
+	}
+	switch c.shape {
+	case recvIsCallerRecv, recvIsFieldPtr:
+		judgeRecvEffects(func(f string) stateRef {
+			return stateRef{pkg: c.callee.pkg, typ: c.callee.recv, field: f}
+		})
+	case recvIsCrossElem:
+		if writesRecv(callee.sum) && !res.covered(c.elem) {
+			r.findf(c.pos, "shardcheck", "call to %s mutates an element of %s reached without a shard key (annotate //simlint:shared <reason> if intended)", c.callee, c.elem)
+		}
+	}
+}
+
+func sortedRefs(m map[stateRef]bool) []stateRef {
+	out := make([]stateRef, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.pkg != b.pkg {
+			return a.pkg < b.pkg
+		}
+		if a.typ != b.typ {
+			return a.typ < b.typ
+		}
+		return a.field < b.field
+	})
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

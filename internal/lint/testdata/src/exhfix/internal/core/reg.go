@@ -1,0 +1,23 @@
+// Positive exhaustive fixtures for the experiment registry: duplicate,
+// malformed, holed, and non-literal IDs.
+package core
+
+// Experiment mirrors the real registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+var idFromVar = "X9"
+
+func init() {
+	register(Experiment{ID: "X1", Title: "first"})
+	register(Experiment{ID: "x1", Title: "case-insensitive dup"}) // want `\[exhaustive\] duplicate experiment ID "x1"`
+	register(Experiment{ID: "bad", Title: "no number"})           // want `\[exhaustive\] malformed experiment ID "bad"`
+	register(Experiment{ID: "Q2", Title: "series hole"})          // want `\[exhaustive\] experiment series Q has a hole: Q1 is missing`
+	register(Experiment{ID: idFromVar, Title: "not a literal"})   // want `\[exhaustive\] experiment ID in register\(\.\.\.\) must be a string literal`
+}

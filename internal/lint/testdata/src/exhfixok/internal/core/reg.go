@@ -1,0 +1,18 @@
+// Negative exhaustive fixture: a clean literal registry — unique IDs, one
+// contiguous series.
+package core
+
+// Experiment mirrors the real registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+func init() {
+	register(Experiment{ID: "K1", Title: "baseline"})
+	register(Experiment{ID: "K2", Title: "variant"})
+}

@@ -1,0 +1,34 @@
+// Negative exhaustive fixtures: full state coverage, and a default clause
+// standing in for it.
+package zns
+
+// ZoneState mirrors the real zone state machine enum.
+type ZoneState int
+
+// The mirrored state table.
+const (
+	Empty ZoneState = iota
+	Open
+	Full
+)
+
+// Writable covers every declared state explicitly.
+func Writable(s ZoneState) bool {
+	switch s {
+	case Empty, Open:
+		return true
+	case Full:
+		return false
+	}
+	return false
+}
+
+// Name leans on a default clause instead.
+func Name(s ZoneState) string {
+	switch s {
+	case Empty:
+		return "empty"
+	default:
+		return "other"
+	}
+}

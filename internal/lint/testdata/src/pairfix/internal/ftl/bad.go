@@ -1,0 +1,52 @@
+// Positive pairing fixtures: each function breaks the AttrSink bracket
+// discipline on some path.
+package ftl
+
+import "pairfix/internal/telemetry"
+
+type Dev struct {
+	attr *telemetry.AttrSink
+}
+
+// ReadMiss leaks the bracket on the early-error return.
+func (d *Dev) ReadMiss(n int) int {
+	d.attr.Begin(1)
+	if n < 0 {
+		return -1 // want `\[pairing\] AttrSink Begin does not reach End/Drop on this path`
+	}
+	d.attr.End()
+	return n
+}
+
+// SuspendLeak returns early without resuming.
+func (d *Dev) SuspendLeak(n int) {
+	d.attr.Suspend()
+	if n > 0 {
+		return // want `\[pairing\] AttrSink Suspend is not balanced by Resume on this path`
+	}
+	d.attr.Resume()
+}
+
+// PopTwice pops a worker identity it never pushed.
+func (d *Dev) PopTwice() {
+	d.attr.PushWorker(1)
+	d.attr.PopWorker()
+	d.attr.PopWorker() // want `\[pairing\] AttrSink PopWorker without a matching PushWorker`
+}
+
+// ChargeEarly charges before the bracket opens.
+func (d *Dev) ChargeEarly() {
+	d.attr.Charge(0, 5) // want `\[pairing\] AttrSink charge before Begin opened the bracket`
+	d.attr.Begin(2)
+	d.attr.End()
+}
+
+// Nested opens a second bracket inside the first and charges after the
+// close.
+func (d *Dev) Nested() {
+	d.attr.Begin(3)
+	d.attr.Begin(4) // want `\[pairing\] nested AttrSink Begin`
+	d.attr.End()
+	d.attr.End()
+	d.attr.Charge(0, 1) // want `\[pairing\] AttrSink charge after the bracket was closed`
+}

@@ -1,0 +1,95 @@
+// Package telemetry mirrors the real attribution sink's bracket protocol
+// surface. The pairing rule exempts the package that declares AttrSink —
+// these method bodies implement the protocol rather than follow it.
+package telemetry
+
+// TenantID mirrors the real tenant identity.
+type TenantID uint16
+
+// Phase mirrors the real latency phase enum.
+type Phase uint8
+
+// AttrSink is the mini bracket-protocol sink the pairing fixtures call.
+type AttrSink struct {
+	depth, susp, work int
+}
+
+// Begin opens a per-IO bracket.
+func (s *AttrSink) Begin(seq uint64) {
+	if s == nil {
+		return
+	}
+	s.depth++
+}
+
+// BeginTenant opens a per-IO bracket tagged with a tenant.
+func (s *AttrSink) BeginTenant(seq uint64, t TenantID) {
+	if s == nil {
+		return
+	}
+	s.depth++
+}
+
+// End closes the bracket.
+func (s *AttrSink) End() {
+	if s == nil {
+		return
+	}
+	s.depth--
+}
+
+// Drop abandons the bracket.
+func (s *AttrSink) Drop() {
+	if s == nil {
+		return
+	}
+	s.depth--
+}
+
+// Charge attributes ticks to a phase.
+func (s *AttrSink) Charge(p Phase, ticks int64) {
+	if s == nil {
+		return
+	}
+	_ = p
+}
+
+// ChargeBlamed attributes ticks to a phase, blaming a culprit.
+func (s *AttrSink) ChargeBlamed(p Phase, ticks int64, t TenantID) {
+	if s == nil {
+		return
+	}
+	_ = p
+}
+
+// Suspend pauses per-IO attribution.
+func (s *AttrSink) Suspend() {
+	if s == nil {
+		return
+	}
+	s.susp++
+}
+
+// Resume resumes per-IO attribution.
+func (s *AttrSink) Resume() {
+	if s == nil {
+		return
+	}
+	s.susp--
+}
+
+// PushWorker stamps reclamation fan-out with a worker identity.
+func (s *AttrSink) PushWorker(t TenantID) {
+	if s == nil {
+		return
+	}
+	s.work++
+}
+
+// PopWorker pops the worker identity.
+func (s *AttrSink) PopWorker() {
+	if s == nil {
+		return
+	}
+	s.work--
+}

@@ -1,0 +1,60 @@
+// Negative pairing fixtures: bracket discipline held on every path — defer
+// closing, early returns, loops re-opening per iteration, helper functions
+// that only balance Suspend/Resume around fan-out.
+package ftl
+
+import "pairfix/internal/telemetry"
+
+type Dev struct {
+	attr *telemetry.AttrSink
+}
+
+// Read brackets with a deferred End so the early return stays balanced.
+func (d *Dev) Read(n int) int {
+	d.attr.Begin(uint64(n))
+	defer d.attr.End()
+	if n < 0 {
+		return -1
+	}
+	d.attr.Charge(0, int64(n))
+	return n
+}
+
+// Reclaim balances worker identity and suspension around fan-out; its
+// charges land in the bracket its caller opened.
+func (d *Dev) Reclaim(parts []int) {
+	d.attr.PushWorker(1)
+	d.attr.Suspend()
+	for _, p := range parts {
+		if p == 0 {
+			continue
+		}
+		d.attr.ChargeBlamed(1, int64(p), 1)
+	}
+	d.attr.Resume()
+	d.attr.PopWorker()
+}
+
+// Retry opens and closes a fresh bracket every iteration.
+func (d *Dev) Retry(n int) {
+	for i := 0; i < n; i++ {
+		d.attr.Begin(uint64(i))
+		switch {
+		case i%2 == 0:
+			d.attr.Charge(0, 1)
+		default:
+		}
+		d.attr.End()
+	}
+}
+
+// Abort drops the bracket on the failure path and ends it on success.
+func (d *Dev) Abort(fail bool) {
+	d.attr.Begin(9)
+	if fail {
+		d.attr.Drop()
+		return
+	}
+	d.attr.Charge(2, 7)
+	d.attr.End()
+}

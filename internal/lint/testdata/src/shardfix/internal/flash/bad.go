@@ -1,0 +1,41 @@
+// Positive shardcheck fixtures: a per-LUN context function writing
+// unkeyed and zone-keyed state, plus the shared-annotation hygiene
+// findings (missing reason, unused carve-out).
+package flash
+
+// Geometry mirrors the real mapper so LUNOfBlock marks callers as per-LUN
+// contexts.
+type Geometry struct{ Channels, DiesPerChan int }
+
+func (g Geometry) LUNOfBlock(block int) int { return block % (g.Channels * g.DiesPerChan) }
+
+type Dev struct {
+	geom       Geometry
+	lunBusy    []int64
+	zoneCredit []int64
+	total      int64
+
+	// want +1 `\[allow\] //simlint:shared is missing a reason`
+	//simlint:shared
+	scratch []int64
+
+	// want +1 `\[allow\] unused //simlint:shared on flash\.Dev\.dormant`
+	//simlint:shared annotated but never written, so the carve-out is dead
+	dormant int64
+}
+
+// Read runs on a per-LUN path: the keyed writes are fine, the whole-object
+// counter write escapes the shard.
+func (d *Dev) Read(block int) {
+	lun := d.geom.LUNOfBlock(block)
+	d.lunBusy[lun]++
+	d.scratch[lun] = 0
+	d.total++ // want `\[shardcheck\] write to flash\.Dev\.total \(class instance\) from a per-LUN path`
+}
+
+// Stripe writes zone-striped state from a per-LUN path: zones cross
+// channel shards.
+func (d *Dev) Stripe(lun, zone int) {
+	d.lunBusy[lun]++
+	d.zoneCredit[zone]++ // want `\[shardcheck\] zone-indexed write to flash\.Dev\.zoneCredit`
+}

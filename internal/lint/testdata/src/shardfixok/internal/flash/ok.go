@@ -1,0 +1,46 @@
+// Negative shardcheck fixtures: per-LUN context functions whose every write
+// is shard-keyed (directly, through an element alias, or via a derived
+// index), with the one aggregate carved out by an annotated reason, and a
+// constructor whose whole-object setup writes are exempt.
+package flash
+
+type Geometry struct{ Channels, DiesPerChan int }
+
+func (g Geometry) LUNOfBlock(block int) int { return block % (g.Channels * g.DiesPerChan) }
+func (g Geometry) ChannelOfLUN(lun int) int { return lun % g.Channels }
+
+type blockState struct {
+	erases uint32
+	sealed bool
+}
+
+type Dev struct {
+	geom     Geometry
+	lunBusy  []int64
+	chanBusy []int64
+	blocks   []blockState
+
+	//simlint:shared commutative op total: per-shard counts merge by summing at barriers
+	totalOps int64
+}
+
+// New's whole-object writes are construction, not hot-path evidence.
+func New(g Geometry, blocks int) *Dev {
+	d := &Dev{geom: g}
+	d.lunBusy = make([]int64, g.Channels*g.DiesPerChan)
+	d.chanBusy = make([]int64, g.Channels)
+	d.blocks = make([]blockState, blocks)
+	return d
+}
+
+// Program touches only state keyed by the lun, channel, or block in hand.
+func (d *Dev) Program(block int) {
+	lun := d.geom.LUNOfBlock(block)
+	ch := d.geom.ChannelOfLUN(lun)
+	b := &d.blocks[block]
+	b.erases++
+	b.sealed = false
+	d.lunBusy[lun]++
+	d.chanBusy[ch]++
+	d.totalOps++
+}

@@ -1,0 +1,177 @@
+// Tests for the v2 interprocedural suite: the affinity-report contract the
+// parallel core will build on, the findings baseline, and the dry-run fixer.
+package lint
+
+import (
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPairingModuleClean pins the result of the bracket-discipline sweep
+// over the real module: the AttrSink call sites in internal/core,
+// internal/ftl, and internal/hostftl all close their brackets on every
+// path. A future leak fails here with only the pairing findings, instead
+// of drowning in the whole-module wall of TestModuleIsClean.
+func TestPairingModuleClean(t *testing.T) {
+	pkgs, err := LoadModule("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, f := range Check(pkgs) {
+		if f.Rule == "pairing" {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestAffinityReportDeterministic is the affinity report's acceptance bar:
+// two fresh loads render byte-identical reports (the parallel-core
+// carve-out contract is stable), the FEMU-style per-LUN timing state is
+// classified shard-local, and nothing crosses shards unannotated.
+func TestAffinityReportDeterministic(t *testing.T) {
+	run := func() string {
+		pkgs, err := LoadModule("../..", []string{"./internal/sim", "./internal/flash"})
+		if err != nil {
+			t.Fatalf("loading module: %v", err)
+		}
+		return AffinityReport(pkgs)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("affinity report is not deterministic across two runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	for _, re := range []string{
+		`(?m)^\s*per-lun\s+flash\.Device\.luns\b`,
+		`(?m)^\s*per-lun\s+flash\.Device\.lunBusy\b`,
+		`(?m)^\s*per-block\s+flash\.Device\.blocks\b`,
+		`(?m)^\s*per-chan\s+flash\.Device\.chanBusy\b`,
+		`(?m)^\s*unannotated cross-shard writes: 0$`,
+	} {
+		if !regexp.MustCompile(re).MatchString(a) {
+			t.Errorf("affinity report does not match %s; report:\n%s", re, a)
+		}
+	}
+}
+
+// TestBaselineDiff checks the diff semantics the lint gate relies on:
+// matching is line-insensitive (edits that shift a baselined finding do not
+// churn), multiset (a second identical finding is still new), and stale
+// entries surface so the baseline can only shrink deliberately.
+func TestBaselineDiff(t *testing.T) {
+	cur := []JSONFinding{
+		{File: "a.go", Line: 10, Rule: "determinism", Msg: "wall clock"},
+		{File: "a.go", Line: 44, Rule: "determinism", Msg: "wall clock"},
+		{File: "b.go", Line: 5, Rule: "pairing", Msg: "leaked bracket"},
+	}
+	base := &BaselineFile{Version: BaselineVersion, Findings: []JSONFinding{
+		{File: "a.go", Line: 99, Rule: "determinism", Msg: "wall clock"},
+		{File: "c.go", Line: 1, Rule: "tickunit", Msg: "gone now"},
+	}}
+	fresh, stale := DiffBaseline(cur, base)
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want the second a.go finding and the b.go finding", fresh)
+	}
+	if fresh[0].File != "a.go" || fresh[0].Line != 44 || fresh[1].File != "b.go" {
+		t.Errorf("fresh = %v, want [a.go:44 b.go:5]", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "c.go" {
+		t.Fatalf("stale = %v, want the c.go entry", stale)
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline, loads it back, and diffs it
+// against the same findings: no churn. It also checks the version gate and
+// that an empty baseline encodes findings as [] rather than null.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	cur := []JSONFinding{
+		{File: "internal/x/x.go", Line: 7, Rule: "shardcheck", Msg: "cross-shard write"},
+	}
+	if err := os.WriteFile(path, EncodeJSON(cur), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("loading baseline back: %v", err)
+	}
+	if fresh, stale := DiffBaseline(cur, base); len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("round trip churned: fresh=%v stale=%v", fresh, stale)
+	}
+
+	if got := string(EncodeJSON(nil)); !strings.Contains(got, `"findings": []`) {
+		t.Errorf("empty baseline encodes findings as null, want []:\n%s", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":"simlint/v0","findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("LoadBaseline accepted a wrong-version document")
+	}
+}
+
+// TestFixDryRun checks the dry-run fixer renders the mechanical subset —
+// nilguard inserts and missing switch cases — and passes over everything
+// it cannot fix.
+func TestFixDryRun(t *testing.T) {
+	findings := []Finding{
+		{
+			Pos:  token.Position{Filename: "/mod/internal/telemetry/t.go", Line: 3},
+			Rule: "nilguard",
+			Msg:  "exported method (*Counter).Add must start with a nil-receiver guard (`if c == nil { return }`) so a nil instrument stays a no-op",
+		},
+		{
+			Pos:  token.Position{Filename: "/mod/internal/zns/z.go", Line: 9},
+			Rule: "exhaustive",
+			Msg:  "switch on zns.ZoneState does not cover Closed, Full — add the missing cases or a default",
+		},
+		{
+			Pos:  token.Position{Filename: "/mod/internal/sim/s.go", Line: 1},
+			Rule: "shardcheck",
+			Msg:  "write to sim.Loop.now (class instance) from a per-LUN path",
+		},
+	}
+	got := FixDryRun(findings, "/mod")
+	want := []string{
+		"internal/telemetry/t.go:3: [nilguard] would insert guard-first `if c == nil { return ... }` at the top of (*Counter).Add",
+		"internal/zns/z.go:9: [exhaustive] would add `case Closed, Full:` to the switch on zns.ZoneState",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("FixDryRun = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSimlintJSONGolden pins the committed baseline: `simlint -json ./...`
+// over the clean module must reproduce LINT_BASELINE.json byte-for-byte,
+// so the machine-readable format and the zero-findings state are both
+// golden-filed.
+func TestSimlintJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the go toolchain")
+	}
+	cmd := exec.Command("go", "run", "./cmd/simlint", "-json", "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go run ./cmd/simlint -json ./... failed: %v\n%s", err, out)
+	}
+	golden, err := os.ReadFile("../../LINT_BASELINE.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	if string(out) != string(golden) {
+		t.Errorf("simlint -json drifted from LINT_BASELINE.json:\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+}

@@ -127,6 +127,8 @@ func (d *Dist) Reset() {
 
 // Histogram is a log2-bucketed latency histogram for runs too long to keep
 // exact samples. Bucket i covers [2^i, 2^(i+1)) nanoseconds.
+//
+//simlint:shared commutative aggregate: log2 bucket counts merge by summing at barriers
 type Histogram struct {
 	buckets [64]uint64
 	count   uint64

@@ -155,6 +155,8 @@ func (s AttrSnapshot) Delta(prev AttrSnapshot) AttrSnapshot {
 // The nil *AttrSink is a valid no-op on every method, and no method
 // allocates: the hot path stays 0 allocs/op with telemetry disabled
 // (pinned by bench_test.go) and allocation-free when enabled.
+//
+//simlint:shared per-IO attribution follows the IO, not the shard: brackets open and close in virtual-time order, so the parallel core gives each shard its own sink and merges at End
 type AttrSink struct {
 	active    bool
 	suspended int

@@ -110,6 +110,8 @@ func (d *Device) AttachAuditor() *Auditor {
 			a.active++
 		case Closed:
 			a.active++
+		case Empty, Full, ReadOnly, Offline:
+			// Not active: holds no open/active resources.
 		}
 	}
 	d.audit = a
@@ -148,6 +150,8 @@ func (a *Auditor) count(s ZoneState) {
 		a.active++
 	case Closed:
 		a.active++
+	case Empty, Full, ReadOnly, Offline:
+		// Not active: holds no open/active resources.
 	}
 }
 
@@ -158,6 +162,8 @@ func (a *Auditor) uncount(s ZoneState) {
 		a.active--
 	case Closed:
 		a.active--
+	case Empty, Full, ReadOnly, Offline:
+		// Not active: held no open/active resources.
 	}
 }
 
@@ -208,6 +214,8 @@ func (a *Auditor) Check() error {
 			active++
 		case Closed:
 			active++
+		case Empty, Full, ReadOnly, Offline:
+			// Not active: contributes to neither census.
 		}
 	}
 	if active != d.active || open != d.open {

@@ -443,6 +443,8 @@ func (d *Device) release(zn *zone) {
 		d.active--
 	case Closed:
 		d.active--
+	case Empty, Full, ReadOnly, Offline:
+		// Not active: nothing to release.
 	}
 }
 
@@ -509,6 +511,8 @@ func (d *Device) Reset(at sim.Time, z int) (sim.Time, error) {
 		return at, ErrOffline
 	case ReadOnly:
 		return at, ErrBadState
+	case Empty, Open, Closed, Full:
+		// Resettable (§2.1: reset is legal from any non-degraded state).
 	}
 	d.release(zn)
 
