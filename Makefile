@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build lint lint-affinity lint-fix-dryrun test bench-telemetry bench bench-compare fuzz fuzz-zns fuzz-faults fault-campaign slo-campaign whatif-campaign explain-campaign update-golden clean
+.PHONY: all check vet build lint lint-affinity lint-fix-dryrun test bench-telemetry bench bench-compare bench-shards fuzz fuzz-zns fuzz-faults fuzz-shards fault-campaign slo-campaign whatif-campaign explain-campaign shard-campaign update-golden clean
 
 all: check
 
-check: vet build lint lint-affinity test bench-telemetry fault-campaign slo-campaign whatif-campaign explain-campaign
+check: vet build lint lint-affinity test bench-telemetry fault-campaign slo-campaign whatif-campaign explain-campaign shard-campaign
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +74,8 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff -threshold 0.001 BENCH_exemplars.json /tmp/blockhead-bench-new.json
 	$(GO) run ./cmd/znsbench -slo -run E14 -bench-json /tmp/blockhead-bench-slo.json > /dev/null
 	$(GO) run ./cmd/benchdiff -threshold 0.25 BENCH_slo.json /tmp/blockhead-bench-slo.json
+	$(GO) run ./cmd/znsbench -shards 4 -run E4,E6 -bench-json /tmp/blockhead-bench-shards.json > /dev/null
+	$(GO) run ./cmd/benchdiff -threshold 0.001 /tmp/blockhead-bench-new.json /tmp/blockhead-bench-shards.json
 
 # The fault campaign's acceptance bar (docs/faults.md): the same seed and
 # profile reproduce the E13 report bit-for-bit — NAND faults, the power
@@ -109,6 +111,27 @@ explain-campaign:
 	$(GO) run ./cmd/znsbench -quick -explain E6:926 > /tmp/blockhead-explain-b.txt
 	cmp /tmp/blockhead-explain-a.txt /tmp/blockhead-explain-b.txt
 
+# The parallel core's acceptance bar (docs/parallel-sim.md): the same seed
+# renders byte-identical reports whatever the -shards count — the serial
+# loop at 1 is the reference, the shard scheduler at 2 and 4 must reproduce
+# it exactly. TestShardEquivalence covers every experiment under -race; this
+# campaign pins the shipped binary end to end.
+shard-campaign:
+	$(GO) run ./cmd/znsbench -quick -shards 1 -run E4,E13,E14 -slo -faults default > /tmp/blockhead-shards-1.txt
+	$(GO) run ./cmd/znsbench -quick -shards 2 -run E4,E13,E14 -slo -faults default > /tmp/blockhead-shards-2.txt
+	$(GO) run ./cmd/znsbench -quick -shards 4 -run E4,E13,E14 -slo -faults default > /tmp/blockhead-shards-4.txt
+	cmp /tmp/blockhead-shards-1.txt /tmp/blockhead-shards-2.txt
+	cmp /tmp/blockhead-shards-1.txt /tmp/blockhead-shards-4.txt
+
+# Wall-clock scaling of the shard scheduler on E4/E6 (the experiments whose
+# parts dominate run time), committed as BENCH_shards.json. Honest numbers:
+# on a single-CPU host the lanes time-slice one core and the speedup is ~1x;
+# see docs/parallel-sim.md for the scaling model.
+bench-shards:
+	$(GO) run ./cmd/znsbench -shards 1 -run E4,E6 -bench-json /tmp/blockhead-shards-serial.json > /dev/null
+	$(GO) run ./cmd/znsbench -shards 4 -run E4,E6 -bench-json /tmp/blockhead-shards-par.json > /dev/null
+	$(GO) run ./cmd/benchdiff -threshold 0.001 /tmp/blockhead-shards-serial.json /tmp/blockhead-shards-par.json
+
 # Short fuzz pass over the trace decoder.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=30s ./internal/trace/
@@ -122,6 +145,12 @@ fuzz-zns:
 # the zone state-machine auditor, both stacks.
 fuzz-faults:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/core/
+
+# Short fuzz pass over the parallel scheduler: random (seed, lane count,
+# crash point) schedules run both fault-campaign stacks serially and as
+# shard lanes; the oracle verdicts must match exactly.
+fuzz-shards:
+	$(GO) test -run='^$$' -fuzz=FuzzShardSchedule -fuzztime=30s ./internal/core/
 
 clean:
 	$(GO) clean ./...

@@ -52,6 +52,10 @@ type E4Result struct {
 	Device DeviceState
 }
 
+// rebaseSeqs shifts the result's exemplar sequence numbers after a
+// parallel run, restoring the serial reference's cross-stack numbering.
+func (e *E4Result) rebaseSeqs(delta uint64) { e.Exem.Rebase(delta) }
+
 // E4Conventional drives a steady-state conventional SSD: the device is
 // pre-filled and the writers sustain uniform random overwrites, so the FTL
 // garbage-collects continuously while Poisson reads arrive.
@@ -239,12 +243,8 @@ func runE4(cfg Config) (Report, error) {
 		Header: []string{"Device", "Write pages/s", "Read mean (us)", "Read p99 (us)",
 			"Read p999 (us)", "Write p99 (us)"},
 	}
-	conv, err := E4Conventional(cfg)
-	if err != nil {
-		return r, err
-	}
-	z, err := E4ZNS(cfg)
-	if err != nil {
+	var conv, z E4Result
+	if err := runParts(cfg, part(&conv, E4Conventional), part(&z, E4ZNS)); err != nil {
 		return r, err
 	}
 	for _, e := range []E4Result{conv, z} {

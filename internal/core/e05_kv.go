@@ -159,11 +159,16 @@ func runE5(cfg Config) (Report, error) {
 	if err != nil {
 		return r, err
 	}
-	conv, err := E5Run("conventional (no trim, scattered alloc)", cb, cfg)
-	if err != nil {
-		return r, err
-	}
-	z, err := E5Run("zns (zone per level)", zb, cfg)
+	// The backends are built up front but fully independent (own devices,
+	// own workload sources seeded per part), so each runs as one part.
+	var conv, z E5Result
+	err = runParts(cfg,
+		part(&conv, func(c Config) (E5Result, error) {
+			return E5Run("conventional (no trim, scattered alloc)", cb, c)
+		}),
+		part(&z, func(c Config) (E5Result, error) {
+			return E5Run("zns (zone per level)", zb, c)
+		}))
 	if err != nil {
 		return r, err
 	}

@@ -56,6 +56,10 @@ type E6Result struct {
 	Device DeviceState
 }
 
+// rebaseSeqs shifts the result's exemplar sequence numbers after a
+// parallel run, restoring the serial reference's cross-stack numbering.
+func (e *E6Result) rebaseSeqs(delta uint64) { e.Exem.Rebase(delta) }
+
 // e6Stack abstracts the two configurations for the shared two-phase drive.
 type e6Stack struct {
 	name     string
@@ -298,12 +302,8 @@ func runE6(cfg Config) (Report, error) {
 		Header: []string{"Configuration", "Write pages/s", "WA",
 			"Read mean (us)", "Read p99 (us)", "Read p999 (us)"},
 	}
-	conv, err := E6Conventional(cfg)
-	if err != nil {
-		return r, err
-	}
-	host, err := E6HostFTL(cfg)
-	if err != nil {
+	var conv, host E6Result
+	if err := runParts(cfg, part(&conv, E6Conventional), part(&host, E6HostFTL)); err != nil {
 		return r, err
 	}
 	for _, e := range []E6Result{conv, host} {

@@ -234,14 +234,20 @@ func runE8(cfg Config) (Report, error) {
 		PaperClaim: "fixed per-tenant budgets throttle bursts; on-demand assignment multiplexes the limit",
 		Header:     []string{"Policy", "Bursts", "Burst p50 (ms)", "Burst p99 (ms)", "Pages/s"},
 	}
-	var results []E8Result
-	for _, p := range []ZonePolicy{StaticZones, DynamicZones} {
-		res, err := E8Run(p, cfg)
-		if err != nil {
-			return r, err
-		}
-		results = append(results, res)
-		r.AddRow(p.String(), fmt.Sprint(res.Bursts),
+	policies := []ZonePolicy{StaticZones, DynamicZones}
+	results := make([]E8Result, len(policies))
+	var tasks []partTask
+	for i, p := range policies {
+		p := p
+		tasks = append(tasks, part(&results[i], func(c Config) (E8Result, error) {
+			return E8Run(p, c)
+		}))
+	}
+	if err := runParts(cfg, tasks...); err != nil {
+		return r, err
+	}
+	for i, res := range results {
+		r.AddRow(policies[i].String(), fmt.Sprint(res.Bursts),
 			fmt.Sprintf("%.1f", res.BurstP50.Millis()),
 			fmt.Sprintf("%.1f", res.BurstP99.Millis()),
 			fmt.Sprintf("%.0f", res.PagesPerSS))

@@ -127,15 +127,11 @@ func runE10(cfg Config) (Report, error) {
 		PaperClaim: "simple copy removes relocation from the PCIe bus; performance comparable to conventional",
 		Header:     []string{"Configuration", "Write pages/s", "WA", "PCIe bytes/host byte"},
 	}
-	conv, err := E10Conv(cfg)
-	if err != nil {
-		return r, err
-	}
-	hostCopy, err := E10HostFTL(false, cfg)
-	if err != nil {
-		return r, err
-	}
-	sc, err := E10HostFTL(true, cfg)
+	var conv, hostCopy, sc E10Result
+	err := runParts(cfg,
+		part(&conv, E10Conv),
+		part(&hostCopy, func(c Config) (E10Result, error) { return E10HostFTL(false, c) }),
+		part(&sc, func(c Config) (E10Result, error) { return E10HostFTL(true, c) }))
 	if err != nil {
 		return r, err
 	}

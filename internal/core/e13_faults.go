@@ -291,37 +291,59 @@ func runE13(cfg Config) (Report, error) {
 		profiles = []fault.Profile{none, prof}
 	}
 	builders := []func(Config, fault.Profile) (e13Stack, error){e13Conventional, e13Host}
+	// Each (profile, stack) campaign is one part: its own device, injector
+	// (seeded from cfg.Seed, consumed in the part's virtual-time order),
+	// and oracle, so the crash matrix parallelizes without sharing state.
+	type spec struct {
+		prof  fault.Profile
+		build func(Config, fault.Profile) (e13Stack, error)
+	}
+	var specs []spec
 	for _, p := range profiles {
 		for _, build := range builders {
-			s, err := build(cfg, p)
+			specs = append(specs, spec{prof: p, build: build})
+		}
+	}
+	results := make([]e13Result, len(specs))
+	var tasks []partTask
+	for i, sp := range specs {
+		sp := sp
+		tasks = append(tasks, part(&results[i], func(c Config) (e13Result, error) {
+			s, err := sp.build(c, sp.prof)
 			if err != nil {
-				return r, err
+				return e13Result{}, err
 			}
-			res, err := e13Campaign(s, cfg, p.Name)
+			res, err := e13Campaign(s, c, sp.prof.Name)
 			if err != nil {
-				return r, fmt.Errorf("E13 %s/%s: %w", s.name, p.Name, err)
+				return e13Result{}, fmt.Errorf("E13 %s/%s: %w", s.name, sp.prof.Name, err)
 			}
-			c := res.counts
-			r.AddRow(res.stack, res.profile,
-				fmt.Sprintf("%d", res.hostWrites), fmt.Sprintf("%.2f", res.wa),
-				fmt.Sprintf("%d", c.ProgramFails), fmt.Sprintf("%d", c.EraseFails),
-				fmt.Sprintf("%d", c.ReadRetryOps), fmt.Sprintf("%d", res.device.Wear.BadBlocks),
-				fmt.Sprintf("%d", res.rep.LostPages), fmt.Sprintf("%d", res.rep.ScannedPages),
-				fmt.Sprintf("%d", res.rep.RecoveredMappings),
-				fmt.Sprintf("%d", res.violations), fmt.Sprintf("%d", res.lostReads))
-			r.AddDeviceState(res.device)
-			r.AddNote("%s/%s: %s", res.stack, res.profile, res.rep.String())
-			if res.writeErrors > 0 {
-				r.AddNote("%s/%s: %d writes failed (capacity lost to faults)",
-					res.stack, res.profile, res.writeErrors)
-			}
-			for _, d := range res.details {
-				r.AddNote("%s/%s: ORACLE VIOLATION: %s", res.stack, res.profile, d)
-			}
-			if res.violations > 0 {
-				return r, fmt.Errorf("E13 %s/%s: %d integrity violations",
-					res.stack, res.profile, res.violations)
-			}
+			return res, nil
+		}))
+	}
+	if err := runParts(cfg, tasks...); err != nil {
+		return r, err
+	}
+	for _, res := range results {
+		c := res.counts
+		r.AddRow(res.stack, res.profile,
+			fmt.Sprintf("%d", res.hostWrites), fmt.Sprintf("%.2f", res.wa),
+			fmt.Sprintf("%d", c.ProgramFails), fmt.Sprintf("%d", c.EraseFails),
+			fmt.Sprintf("%d", c.ReadRetryOps), fmt.Sprintf("%d", res.device.Wear.BadBlocks),
+			fmt.Sprintf("%d", res.rep.LostPages), fmt.Sprintf("%d", res.rep.ScannedPages),
+			fmt.Sprintf("%d", res.rep.RecoveredMappings),
+			fmt.Sprintf("%d", res.violations), fmt.Sprintf("%d", res.lostReads))
+		r.AddDeviceState(res.device)
+		r.AddNote("%s/%s: %s", res.stack, res.profile, res.rep.String())
+		if res.writeErrors > 0 {
+			r.AddNote("%s/%s: %d writes failed (capacity lost to faults)",
+				res.stack, res.profile, res.writeErrors)
+		}
+		for _, d := range res.details {
+			r.AddNote("%s/%s: ORACLE VIOLATION: %s", res.stack, res.profile, d)
+		}
+		if res.violations > 0 {
+			return r, fmt.Errorf("E13 %s/%s: %d integrity violations",
+				res.stack, res.profile, res.violations)
 		}
 	}
 	r.AddNote("recovery asymmetry: the conventional scan reads every written page; " +

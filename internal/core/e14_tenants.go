@@ -74,6 +74,10 @@ type E14Result struct {
 	Device    DeviceState
 }
 
+// rebaseSeqs shifts the result's exemplar sequence numbers after a
+// parallel run, restoring the serial reference's cross-stack numbering.
+func (e *E14Result) rebaseSeqs(delta uint64) { e.Exem.Rebase(delta) }
+
 // e14Stack abstracts the two configurations for the shared drive.
 type e14Stack struct {
 	name     string
@@ -328,12 +332,8 @@ func runE14(cfg Config) (Report, error) {
 		Header: []string{"Configuration", "Tenant", "Ops/s", "Mean (us)",
 			"p50 (us)", "p99 (us)", "SLO"},
 	}
-	conv, err := E14Conventional(cfg)
-	if err != nil {
-		return r, err
-	}
-	host, err := E14HostFTL(cfg)
-	if err != nil {
+	var conv, host E14Result
+	if err := runParts(cfg, part(&conv, E14Conventional), part(&host, E14HostFTL)); err != nil {
 		return r, err
 	}
 	for _, e := range []E14Result{conv, host} {

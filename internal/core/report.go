@@ -44,6 +44,16 @@ type Config struct {
 	// the ground truth the what-if engine's predictions are validated
 	// against (make whatif-campaign).
 	Scenario *critpath.Scenario
+	// Shards selects the scheduler for experiments built from independent
+	// sub-simulations ("parts": one device stack + workload + telemetry
+	// session each). 0 or 1 runs parts serially on the shared session —
+	// today's loop, the reference implementation. N > 1 runs parts on an
+	// internal/sim/shard scheduler with min(N, parts) lanes and merges at
+	// the final barrier in part order; a seeded run's report is
+	// byte-identical at any value (TestShardEquivalence is the gate).
+	// Probe and explain runs force the serial path: both hang live state
+	// (metric registries, the narrator) off one shared sink.
+	Shards int
 	// ExplainSeq, when nonzero, arms per-IO forensics (znsbench -explain):
 	// instead of the critpath recorder and exemplar reservoir, the session
 	// sink carries a narrator that records the measured IO with this

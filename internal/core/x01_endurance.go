@@ -127,12 +127,8 @@ func runX1(cfg Config) (Report, error) {
 		PaperClaim: "host-controlled WA extends lifetime; ZNS degrades gracefully by shrinking zones",
 		Header:     []string{"Device", "Host pages before wear-out", "Lifetime ratio"},
 	}
-	conv, err := X1Conventional(cfg)
-	if err != nil {
-		return r, err
-	}
-	z, err := X1ZNS(cfg)
-	if err != nil {
+	var conv, z uint64
+	if err := runParts(cfg, part(&conv, X1Conventional), part(&z, X1ZNS)); err != nil {
 		return r, err
 	}
 	r.AddRow("conventional (random writes, OP 7%)", fmt.Sprint(conv), "1.00x")

@@ -187,6 +187,29 @@ type blockState struct {
 	sealed     bool // closed to further programs until erased (torn frontier)
 }
 
+// lunState is one LUN's complete mutable timing state: the busy-until
+// execution unit, its accumulated utilization, and the attribution occupancy
+// (last tenant and service phase, so a LUN-wait can blame what it queued
+// behind). Keeping all of it in one struct is the shard boundary the
+// channel-sharded scheduler (internal/sim/shard) relies on: a shard owns its
+// channels' LUNs, so every write lands in d.luns[lun] and the affinity
+// report classifies the whole unit per-lun.
+type lunState struct {
+	res   sim.Resource
+	busy  sim.Time
+	owner telemetry.TenantID
+	op    telemetry.Phase // previous cell op's service phase; -1 before the first
+}
+
+// chanState is one channel bus's mutable timing state, the per-chan
+// counterpart of lunState. The bus only ever transfers pages, so no service
+// phase is tracked.
+type chanState struct {
+	res   sim.Resource
+	busy  sim.Time
+	owner telemetry.TenantID
+}
+
 // Device is a timed NAND flash array.
 type Device struct {
 	Geom Geometry
@@ -197,8 +220,8 @@ type Device struct {
 	// and the block is marked bad.
 	Endurance uint32
 
-	luns   []sim.Resource
-	chans  []sim.Resource
+	luns   []lunState
+	chans  []chanState
 	blocks []blockState
 	//simlint:shared commutative aggregate op totals: per-shard counts merge by summing at barriers
 	counts OpCounts
@@ -214,24 +237,12 @@ type Device struct {
 	oobSeq   []uint64
 	progDone []sim.Time
 
-	// Accumulated busy time per LUN and per channel; the utilization gauges
-	// divide these by the current virtual time.
-	lunBusy  []sim.Time
-	chanBusy []sim.Time
-
-	// Last tenant to occupy each LUN and channel (attr.Worker() at acquire
-	// time). A wait charge blames the previous occupant — the tenant whose
-	// activity the arriving op queued behind. Allocated by SetProbe; nil
-	// when attribution is off.
-	lunOwner  []telemetry.TenantID
-	chanOwner []telemetry.TenantID
-
-	// Service phase of each LUN's previous cell operation (-1 before the
-	// first), so a LUN-wait charge can tell the critical-path recorder
-	// which cost it queued behind — a read sense, a program, or an erase.
-	// Channel waits need no tracking: the bus only ever transfers pages.
-	// Allocated alongside lunOwner.
-	lunOp []telemetry.Phase
+	// owners arms the occupancy half of lunState/chanState: SetProbe sets it
+	// when attribution attaches, and claimLUN/claimChan stamp the current
+	// worker tenant (and, for LUNs, the service phase) so a wait charge can
+	// blame the previous occupant — the tenant whose activity the arriving
+	// op queued behind.
+	owners bool
 
 	// Telemetry handles; all nil (zero-cost no-ops) without SetProbe.
 	tr                     *telemetry.Tracer
@@ -247,13 +258,11 @@ func New(geom Geometry, lat Latencies) *Device {
 		panic(err)
 	}
 	return &Device{
-		Geom:     geom,
-		Lat:      lat,
-		luns:     make([]sim.Resource, geom.LUNs()),
-		chans:    make([]sim.Resource, geom.Channels),
-		blocks:   make([]blockState, geom.TotalBlocks()),
-		lunBusy:  make([]sim.Time, geom.LUNs()),
-		chanBusy: make([]sim.Time, geom.Channels),
+		Geom:   geom,
+		Lat:    lat,
+		luns:   make([]lunState, geom.LUNs()),
+		chans:  make([]chanState, geom.Channels),
+		blocks: make([]blockState, geom.TotalBlocks()),
 	}
 }
 
@@ -265,12 +274,10 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 	d.tr = p.Tracer()
 	d.attr = p.Attribution()
 	d.fl = p.Flight()
-	if d.attr != nil && d.lunOwner == nil {
-		d.lunOwner = make([]telemetry.TenantID, d.Geom.LUNs())
-		d.chanOwner = make([]telemetry.TenantID, d.Geom.Channels)
-		d.lunOp = make([]telemetry.Phase, d.Geom.LUNs())
-		for i := range d.lunOp {
-			d.lunOp[i] = -1
+	if d.attr != nil && !d.owners {
+		d.owners = true
+		for i := range d.luns {
+			d.luns[i].op = -1
 		}
 	}
 	d.mReads = reg.Counter("flash/read_pages")
@@ -292,7 +299,7 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 			if at <= 0 {
 				return 0
 			}
-			return float64(d.chanBusy[c]) / float64(at)
+			return float64(d.chans[c].busy) / float64(at)
 		})
 	}
 	for l := 0; l < d.Geom.LUNs(); l++ {
@@ -304,16 +311,16 @@ func (d *Device) SetProbe(p *telemetry.Probe) {
 			if at <= 0 {
 				return 0
 			}
-			return float64(d.lunBusy[l]) / float64(at)
+			return float64(d.luns[l].busy) / float64(at)
 		})
 	}
 }
 
 // LUNBusy reports the accumulated busy time of a LUN (cell operations).
-func (d *Device) LUNBusy(lun int) sim.Time { return d.lunBusy[lun] }
+func (d *Device) LUNBusy(lun int) sim.Time { return d.luns[lun].busy }
 
 // ChannelBusy reports the accumulated busy time of a channel bus.
-func (d *Device) ChannelBusy(ch int) sim.Time { return d.chanBusy[ch] }
+func (d *Device) ChannelBusy(ch int) sim.Time { return d.chans[ch].busy }
 
 // Counts returns a copy of the physical operation counters.
 func (d *Device) Counts() OpCounts { return d.counts }
@@ -409,23 +416,24 @@ func (d *Device) IsSealed(block int) bool { return d.blocks[block].sealed }
 // suspended (reclamation fan-out is exactly the occupancy later victims
 // wait behind). (SelfTenant, -1) when attribution is off.
 func (d *Device) claimLUN(lun int, op telemetry.Phase) (telemetry.TenantID, telemetry.Phase) {
-	if d.lunOwner == nil {
+	if !d.owners {
 		return telemetry.SelfTenant, -1
 	}
-	prev := d.lunOwner[lun]
-	prevOp := d.lunOp[lun]
-	d.lunOwner[lun] = d.attr.Worker()
-	d.lunOp[lun] = op
+	l := &d.luns[lun]
+	prev, prevOp := l.owner, l.op
+	l.owner = d.attr.Worker()
+	l.op = op
 	return prev, prevOp
 }
 
 // claimChan is claimLUN for a channel bus.
 func (d *Device) claimChan(ch int) telemetry.TenantID {
-	if d.chanOwner == nil {
+	if !d.owners {
 		return telemetry.SelfTenant
 	}
-	prev := d.chanOwner[ch]
-	d.chanOwner[ch] = d.attr.Worker()
+	c := &d.chans[ch]
+	prev := c.owner
+	c.owner = d.attr.Worker()
 	return prev
 }
 
@@ -462,8 +470,8 @@ func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 	lun := d.Geom.LUNOfBlock(block)
 	ch := d.Geom.ChannelOfLUN(lun)
 	prevLUN, lunBind := d.claimLUN(lun, telemetry.PhaseNANDRead)
-	senseStart, senseEnd := d.luns[lun].Acquire(at, sense)
-	d.lunBusy[lun] += sense
+	senseStart, senseEnd := d.luns[lun].res.Acquire(at, sense)
+	d.luns[lun].busy += sense
 	d.counts.Reads++
 	d.mReads.Inc()
 	if uncorrectable {
@@ -474,8 +482,8 @@ func (d *Device) ReadPage(at sim.Time, block, page int) (sim.Time, error) {
 		return senseEnd, ErrUncorrectable
 	}
 	prevCh := d.claimChan(ch)
-	xferStart, done := d.chans[ch].Acquire(senseEnd, d.Lat.XferPage)
-	d.chanBusy[ch] += d.Lat.XferPage
+	xferStart, done := d.chans[ch].res.Acquire(senseEnd, d.Lat.XferPage)
+	d.chans[ch].busy += d.Lat.XferPage
 	// Attribution: [at..senseStart) LUN queue, sense (incl. retries),
 	// [senseEnd..xferStart) bus queue, transfer — contiguous intervals
 	// covering at..done exactly. Waits blame the resource's previous
@@ -513,11 +521,11 @@ func (d *Device) ProgramPage(at sim.Time, block, page int) (sim.Time, error) {
 	lun := d.Geom.LUNOfBlock(block)
 	ch := d.Geom.ChannelOfLUN(lun)
 	prevCh := d.claimChan(ch)
-	xferStart, xferEnd := d.chans[ch].Acquire(at, d.Lat.XferPage)
+	xferStart, xferEnd := d.chans[ch].res.Acquire(at, d.Lat.XferPage)
 	prevLUN, lunBind := d.claimLUN(lun, telemetry.PhaseNANDProgram)
-	progStart, done := d.luns[lun].Acquire(xferEnd, d.Lat.ProgramPage)
-	d.chanBusy[ch] += d.Lat.XferPage
-	d.lunBusy[lun] += d.Lat.ProgramPage
+	progStart, done := d.luns[lun].res.Acquire(xferEnd, d.Lat.ProgramPage)
+	d.chans[ch].busy += d.Lat.XferPage
+	d.luns[lun].busy += d.Lat.ProgramPage
 	d.counts.Programs++
 	d.mProgs.Inc()
 	if d.inj.ProgramFails(d.wearFrac(b)) {
@@ -562,8 +570,8 @@ func (d *Device) EraseBlock(at sim.Time, block int) (sim.Time, error) {
 	}
 	lun := d.Geom.LUNOfBlock(block)
 	prevLUN, lunBind := d.claimLUN(lun, telemetry.PhaseNANDErase)
-	eraseStart, done := d.luns[lun].Acquire(at, d.Lat.EraseBlock)
-	d.lunBusy[lun] += d.Lat.EraseBlock
+	eraseStart, done := d.luns[lun].res.Acquire(at, d.Lat.EraseBlock)
+	d.luns[lun].busy += d.Lat.EraseBlock
 	d.counts.Erases++
 	d.mErase.Inc()
 	if d.inj.EraseFails(d.wearFrac(b)) {
@@ -658,10 +666,10 @@ func (d *Device) CrashAt(t sim.Time) CrashStats {
 		}
 	}
 	for i := range d.luns {
-		d.luns[i].Interrupt(t)
+		d.luns[i].res.Interrupt(t)
 	}
 	for i := range d.chans {
-		d.chans[i].Interrupt(t)
+		d.chans[i].res.Interrupt(t)
 	}
 	d.fl.Record(t, telemetry.FlightCrash, -1, "power_loss", st.LostPages)
 	return st
@@ -671,7 +679,7 @@ func (d *Device) CrashAt(t sim.Time) CrashStats {
 // use it to schedule maintenance work (host-controlled GC, §4.1) around
 // foreground I/O.
 func (d *Device) LUNFreeAt(block int) sim.Time {
-	return d.luns[d.Geom.LUNOfBlock(block)].FreeAt()
+	return d.luns[d.Geom.LUNOfBlock(block)].res.FreeAt()
 }
 
 // BusyLUNs reports how many LUNs are still acquired past instant at — the
@@ -679,7 +687,7 @@ func (d *Device) LUNFreeAt(block int) sim.Time {
 func (d *Device) BusyLUNs(at sim.Time) int {
 	n := 0
 	for i := range d.luns {
-		if d.luns[i].FreeAt() > at {
+		if d.luns[i].res.FreeAt() > at {
 			n++
 		}
 	}
@@ -691,7 +699,7 @@ func (d *Device) BusyLUNs(at sim.Time) int {
 func (d *Device) BusyChans(at sim.Time) int {
 	n := 0
 	for i := range d.chans {
-		if d.chans[i].FreeAt() > at {
+		if d.chans[i].res.FreeAt() > at {
 			n++
 		}
 	}

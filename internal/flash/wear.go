@@ -124,11 +124,11 @@ func (d *Device) heatSection(at sim.Time) telemetry.DeviceHeat {
 	}
 	chans := make([]telemetry.UnitOcc, d.Geom.Channels)
 	for c := range chans {
-		chans[c] = telemetry.UnitOcc{ID: c, BusyFrac: busyFrac(d.chanBusy[c], at)}
+		chans[c] = telemetry.UnitOcc{ID: c, BusyFrac: busyFrac(d.chans[c].busy, at)}
 	}
 	luns := make([]telemetry.UnitOcc, d.Geom.LUNs())
 	for l := range luns {
-		luns[l] = telemetry.UnitOcc{ID: l, BusyFrac: busyFrac(d.lunBusy[l], at)}
+		luns[l] = telemetry.UnitOcc{ID: l, BusyFrac: busyFrac(d.luns[l].busy, at)}
 	}
 	return telemetry.DeviceHeat{Wear: wh, Channels: chans, LUNs: luns}
 }

@@ -26,7 +26,9 @@
 //     sim-core packages.
 //   - concurrency: no go statements, channels, select, or sync primitives
 //     outside telemetry/httpserve, cmd/, and examples/ — the sim core is a
-//     single-threaded virtual-time loop.
+//     single-threaded virtual-time loop. The shard scheduler
+//     (internal/sim/shard) is carved out with an inverted contract: it may
+//     spawn goroutines, but writes to package-level state are findings.
 //   - nilguard: every exported pointer-receiver method on an instrument type
 //     (exported types in internal/telemetry, plus any type marked with a
 //     `//simlint:nilsafe` directive) must start with a nil-receiver guard.
@@ -84,7 +86,7 @@ type RuleDoc struct {
 func Rules() []RuleDoc {
 	return []RuleDoc{
 		{"determinism", "no wall-clock/entropy reads module-wide; no order-dependent map iteration in sim-core packages"},
-		{"concurrency", "no goroutines, channels, select, or sync primitives outside telemetry/httpserve, cmd/, and examples/"},
+		{"concurrency", "no goroutines, channels, select, or sync primitives outside telemetry/httpserve, cmd/, and examples/; the shard scheduler (internal/sim/shard) instead must not write package-level state"},
 		{"nilguard", "exported pointer-receiver methods on instrument types must begin with a nil-receiver guard"},
 		{"tickunit", "no time.Duration in sim-core tick arithmetic; no direct time.Duration<->sim.Time conversion"},
 		{"shardcheck", "interprocedural: per-LUN code paths may only write shard-keyed state; cross-shard writes need a //simlint:shared <reason> carve-out (report: simlint -affinity)"},
@@ -143,6 +145,14 @@ func concurrencyExempt(path string) bool {
 	return strings.HasSuffix(path, "internal/telemetry/httpserve") ||
 		strings.Contains(path, "/cmd/") ||
 		strings.Contains(path, "/examples/")
+}
+
+// shardScheduler reports whether path is the parallel shard scheduler — the
+// one library package allowed to hold goroutines and sync primitives, in
+// exchange for the no-package-level-writes contract checkShardGlobals
+// enforces (see docs/parallel-sim.md).
+func shardScheduler(path string) bool {
+	return strings.HasSuffix(path, "internal/sim/shard")
 }
 
 // reporter accumulates findings for one package, deduplicating by

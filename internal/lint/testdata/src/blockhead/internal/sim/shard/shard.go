@@ -1,0 +1,47 @@
+// Package shard fixtures: the shard scheduler's inverted concurrency
+// contract. Goroutines, WaitGroups, and atomics are legal here — the package
+// exists to run sim loops on lanes — but any write rooted in a package-level
+// var escapes the lane-local-state model and is a finding.
+package shard
+
+import "sync"
+
+// totalSteps is cross-lane shared memory: writing it from lane code is the
+// exact race the lane/coordinator split exists to prevent.
+var totalSteps int
+
+var laneStats = map[int]int{}
+
+// runLanes spawns worker goroutines — no concurrency findings in this
+// package.
+func runLanes(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = step(i)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// step does lane-local work but leaks a tally into package state.
+func step(lane int) int {
+	totalSteps++        // want `\[concurrency\] write to package-level totalSteps`
+	laneStats[lane] = 1 // want `\[concurrency\] write to package-level laneStats`
+	return lane * 2
+}
+
+// merge is coordinator-side and still may not write globals.
+func merge(parts []int) int {
+	total := 0
+	for _, p := range parts {
+		total += p
+	}
+	totalSteps = total // want `\[concurrency\] write to package-level totalSteps`
+	return total
+}

@@ -47,9 +47,8 @@ func TestAffinityReportDeterministic(t *testing.T) {
 	}
 	for _, re := range []string{
 		`(?m)^\s*per-lun\s+flash\.Device\.luns\b`,
-		`(?m)^\s*per-lun\s+flash\.Device\.lunBusy\b`,
 		`(?m)^\s*per-block\s+flash\.Device\.blocks\b`,
-		`(?m)^\s*per-chan\s+flash\.Device\.chanBusy\b`,
+		`(?m)^\s*per-chan\s+flash\.Device\.chans\b`,
 		`(?m)^\s*unannotated cross-shard writes: 0$`,
 	} {
 		if !regexp.MustCompile(re).MatchString(a) {

@@ -71,7 +71,23 @@ func (l *Loop) At(t Time, fn func(now Time)) {
 // After schedules fn to run d after the loop's current time.
 func (l *Loop) After(d Time, fn func(now Time)) { l.At(l.now+d, fn) }
 
-// Stop makes Run return after the current event completes.
+// NextAt reports the timestamp of the earliest queued event, or false if the
+// queue is empty. The shard scheduler uses it to compute conservative
+// horizons without disturbing the queue.
+func (l *Loop) NextAt() (Time, bool) {
+	if len(l.h) == 0 {
+		return 0, false
+	}
+	return l.h[0].at, true
+}
+
+// Pending reports how many events are queued.
+func (l *Loop) Pending() int { return len(l.h) }
+
+// Stop makes the in-progress Run or RunUntil return after the current event
+// completes. The flag is scoped to one run: the next Run/RunUntil call clears
+// it and resumes from the queue, so a Stop issued while no run is in progress
+// has no effect. Remaining events stay queued.
 func (l *Loop) Stop() { l.stopped = true }
 
 // Steps reports how many events have been executed.
@@ -94,8 +110,12 @@ func (l *Loop) Run() Time {
 }
 
 // RunUntil executes events with timestamps <= deadline, leaving later events
-// queued. It returns the loop's current time (== deadline if any events
-// remained).
+// queued, and advances the clock to the deadline (so a subsequent At(t) with
+// t in (lastEvent, deadline] is legal and immediate work lands after the
+// window, matching a real device that sat idle until the deadline). If Stop
+// fires mid-run the clock stays at the stopping event instead: events <=
+// deadline may still be queued, and jumping past them would run them with a
+// time already beyond their timestamps on resume.
 func (l *Loop) RunUntil(deadline Time) Time {
 	l.stopped = false
 	for len(l.h) > 0 && !l.stopped && l.h[0].at <= deadline {
@@ -107,7 +127,7 @@ func (l *Loop) RunUntil(deadline Time) Time {
 			l.OnEvent(e.at)
 		}
 	}
-	if l.now < deadline {
+	if !l.stopped && l.now < deadline {
 		l.now = deadline
 	}
 	return l.now

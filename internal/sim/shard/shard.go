@@ -1,0 +1,304 @@
+// Package shard is the repo's conservative-lookahead parallel
+// discrete-event scheduler. It partitions a simulation into lanes — one per
+// flash channel/LUN group, or one per independent device stack — runs each
+// lane's event heap (a plain sim.Loop) on its own goroutine, and
+// synchronizes at barrier events for cross-lane operations.
+//
+// The design target is determinism first, speedup second: a seeded run must
+// produce byte-identical results regardless of the lane count, so every
+// source of scheduling freedom is removed:
+//
+//   - Lane-local events execute on the lane's own sim.Loop in strict
+//     (time, scheduling-order) order, exactly as the serial reference.
+//   - Cross-lane and barrier events scheduled from inside a running lane
+//     are STAGED, not delivered: each lane appends to a private buffer
+//     (no locks, no contention) and the coordinator merges all buffers at
+//     the next quiescent point in (time, origin lane, origin order) —
+//     a total order independent of goroutine interleaving.
+//   - Barrier callbacks run single-threaded on the coordinator while every
+//     lane is parked at or past the barrier's timestamp (the conservative
+//     lookahead: lanes never run beyond the earliest pending barrier).
+//
+// Mutable state must be lane-local or touched only inside barrier
+// callbacks; simlint's shardcheck affinity map is the contract for which is
+// which, and the concurrency carve-out admits goroutines only in this
+// package. Commutative aggregates (counters, histograms, blame matrices)
+// merge at barriers per their //simlint:shared strategies; per-lane
+// AttrSinks merge at End.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"blockhead/internal/sim"
+)
+
+// staged is a cross-lane or barrier event captured during parallel
+// execution, delivered by the coordinator at the next quiescent point.
+type staged struct {
+	at     sim.Time
+	origin int    // staging lane
+	seq    uint64 // per-origin staging order
+	lane   int    // target lane, or barrierLane
+	fn     func(now sim.Time)
+}
+
+const barrierLane = -1
+
+// lane is one shard: a serial event loop plus the staging buffer its
+// callbacks fill. Only the lane's own goroutine touches either during a
+// round; the coordinator touches them only while the lane is parked.
+type lane struct {
+	loop     *sim.Loop
+	id       int
+	staged   []staged
+	stageSeq uint64
+	panicked interface{} // recovered lane panic, re-raised by the coordinator
+}
+
+// Loop is the parallel scheduler. Zero value is not usable; call New.
+type Loop struct {
+	lanes    []*lane
+	global   *sim.Loop // barrier events; runs only on the coordinator
+	parallel atomic.Bool
+	stopped  atomic.Bool
+}
+
+// New returns a scheduler with n lanes (n >= 1) positioned at time 0.
+func New(n int) *Loop {
+	if n < 1 {
+		panic("shard: lane count must be >= 1")
+	}
+	l := &Loop{global: sim.NewLoop()}
+	for i := 0; i < n; i++ {
+		l.lanes = append(l.lanes, &lane{loop: sim.NewLoop(), id: i})
+	}
+	return l
+}
+
+// Lanes reports the lane count.
+func (l *Loop) Lanes() int { return len(l.lanes) }
+
+// Lane returns lane i's scheduling handle. Lane callbacks must schedule
+// through their own lane's handle; the coordinator (setup code and barrier
+// callbacks) may use any handle or the Loop-level methods.
+func (l *Loop) Lane(i int) *Lane { return &Lane{l: l, ln: l.lanes[i]} }
+
+// At schedules fn on lane i at time t. Coordinator context only (setup or a
+// barrier callback): calling it while lanes are running is a data race on
+// the target heap, so it panics instead.
+func (l *Loop) At(i int, t sim.Time, fn func(now sim.Time)) {
+	if l.parallel.Load() {
+		panic("shard: Loop.At called during parallel execution; use Lane.At")
+	}
+	l.lanes[i].loop.At(t, fn)
+}
+
+// AtBarrier schedules fn as a barrier event at time t: it runs
+// single-threaded once every lane has quiesced to >= t. Coordinator context
+// only; lane callbacks stage through Lane.AtBarrier.
+func (l *Loop) AtBarrier(t sim.Time, fn func(now sim.Time)) {
+	if l.parallel.Load() {
+		panic("shard: Loop.AtBarrier called during parallel execution; use Lane.AtBarrier")
+	}
+	l.global.At(t, fn)
+}
+
+// Stop makes the in-progress Run return at the next quiescent point (the
+// end of the current round). Like sim.Loop.Stop it is scoped to one run:
+// the next Run call clears it and resumes from the queues.
+func (l *Loop) Stop() { l.stopped.Store(true) }
+
+// Steps reports how many events have been executed across all lanes and
+// the barrier loop. Call only while quiescent (not from lane callbacks).
+func (l *Loop) Steps() uint64 {
+	var s uint64
+	for _, ln := range l.lanes {
+		s += ln.loop.Steps()
+	}
+	return s + l.global.Steps()
+}
+
+// Now reports the scheduler's quiescent virtual time: the maximum time any
+// lane or barrier has reached. Call only while quiescent.
+func (l *Loop) Now() sim.Time {
+	now := l.global.Now()
+	for _, ln := range l.lanes {
+		if t := ln.loop.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Run executes events until every lane and the barrier queue is empty or
+// Stop is called. It returns the final quiescent virtual time (the maximum
+// across lanes, mirroring the serial loop's "time of the last event").
+//
+// Each round: compute the horizon H (the earliest pending barrier), run
+// every lane concurrently up to H (or to empty if no barrier is pending),
+// then — single-threaded — merge staged cross-lane events in (time, origin
+// lane, origin order) and execute the barrier events at H. Determinism
+// follows because every step of the round is a pure function of the queues'
+// contents, never of goroutine timing.
+func (l *Loop) Run() sim.Time {
+	l.stopped.Store(false)
+	for !l.stopped.Load() {
+		horizon, hasBarrier := l.global.NextAt()
+		if !hasBarrier && !l.anyLanePending() {
+			break
+		}
+		l.runLanes(horizon, hasBarrier)
+		l.mergeStaged(horizon, hasBarrier)
+		if l.stopped.Load() {
+			break
+		}
+		if t, ok := l.global.NextAt(); ok {
+			// Execute exactly the barrier events at the head timestamp
+			// (FIFO within the timestamp, like the serial loop); later
+			// barriers define the next round's horizon.
+			l.global.RunUntil(t)
+		}
+	}
+	return l.Now()
+}
+
+// anyLanePending reports whether any lane has queued events.
+func (l *Loop) anyLanePending() bool {
+	for _, ln := range l.lanes {
+		if ln.loop.Pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runLanes runs every lane concurrently up to the horizon (or to empty when
+// no barrier is pending) and waits for all of them. Lane panics are
+// captured and re-raised here so causality violations inside a lane surface
+// with the same message as in the serial loop.
+func (l *Loop) runLanes(horizon sim.Time, hasBarrier bool) {
+	l.parallel.Store(true)
+	var wg sync.WaitGroup
+	for _, ln := range l.lanes {
+		wg.Add(1)
+		go func(ln *lane) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					ln.panicked = r
+				}
+			}()
+			if hasBarrier {
+				ln.loop.RunUntil(horizon)
+			} else {
+				ln.loop.Run()
+			}
+		}(ln)
+	}
+	wg.Wait()
+	l.parallel.Store(false)
+	for _, ln := range l.lanes {
+		if r := ln.panicked; r != nil {
+			ln.panicked = nil
+			panic(r)
+		}
+	}
+}
+
+// mergeStaged delivers every event staged during the round in (time, origin
+// lane, origin order) — a total order independent of goroutine timing, so
+// same-heap tie-break sequence numbers are assigned deterministically.
+func (l *Loop) mergeStaged(horizon sim.Time, hasBarrier bool) {
+	var all []staged
+	for _, ln := range l.lanes {
+		all = append(all, ln.staged...)
+		ln.staged = ln.staged[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	// Insertion sort keeps the package free of sort.Slice's less-func
+	// allocations; staging buffers are short-lived and small.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && stagedBefore(all[j], all[j-1]); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	for _, s := range all {
+		if s.lane == barrierLane {
+			if hasBarrier && s.at < horizon {
+				// The lanes already ran past s.at; executing the barrier
+				// now would hand it a world beyond its timestamp.
+				panic("shard: barrier event scheduled before the horizon")
+			}
+			l.global.At(s.at, s.fn)
+			continue
+		}
+		// Cross-lane delivery: the target's own clock enforces causality
+		// (sim.Loop.At panics on t < now with the standard message).
+		l.lanes[s.lane].loop.At(s.at, s.fn)
+	}
+}
+
+func stagedBefore(a, b staged) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	return a.seq < b.seq
+}
+
+// Lane is the scheduling handle lane callbacks use. Methods on the lane's
+// own state are direct; anything that crosses the lane boundary is staged
+// for the coordinator's deterministic merge.
+type Lane struct {
+	l  *Loop
+	ln *lane
+}
+
+// ID reports the lane's index.
+func (h *Lane) ID() int { return h.ln.id }
+
+// Now reports the lane's current virtual time.
+func (h *Lane) Now() sim.Time { return h.ln.loop.Now() }
+
+// Loop exposes the lane's underlying serial loop, so code written against
+// *sim.Loop (workers, arrival processes) runs on a lane unchanged.
+func (h *Lane) Loop() *sim.Loop { return h.ln.loop }
+
+// At schedules fn on this lane at time t: lane-local, immediate, exactly
+// sim.Loop.At (including the past-event panic).
+func (h *Lane) At(t sim.Time, fn func(now sim.Time)) { h.ln.loop.At(t, fn) }
+
+// After schedules fn on this lane d after the lane's current time.
+func (h *Lane) After(d sim.Time, fn func(now sim.Time)) { h.ln.loop.After(d, fn) }
+
+// AtLane schedules fn on another lane. Delivered at the next quiescent
+// point; t must be >= the target's clock then (the merge enforces it with
+// the serial loop's past-event panic). Scheduling on one's own lane
+// degenerates to At.
+func (h *Lane) AtLane(target int, t sim.Time, fn func(now sim.Time)) {
+	if target == h.ln.id {
+		h.At(t, fn)
+		return
+	}
+	h.stage(staged{at: t, lane: target, fn: fn})
+}
+
+// AtBarrier schedules fn as a barrier event at time t >= the current
+// horizon. Delivered at the next quiescent point; the coordinator rejects
+// barriers behind the horizon the lanes already ran to.
+func (h *Lane) AtBarrier(t sim.Time, fn func(now sim.Time)) {
+	h.stage(staged{at: t, lane: barrierLane, fn: fn})
+}
+
+func (h *Lane) stage(s staged) {
+	s.origin = h.ln.id
+	h.ln.stageSeq++
+	s.seq = h.ln.stageSeq
+	h.ln.staged = append(h.ln.staged, s)
+}

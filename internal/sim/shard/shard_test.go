@@ -1,0 +1,287 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"blockhead/internal/sim"
+)
+
+// runTrace executes a fixed logical workload — nTasks self-rescheduling
+// workers, task i on lane i%lanes, aggregating into a per-task result slot,
+// with a barrier at the end that renders the merged output — and returns
+// (rendered output, Steps, final time). The workload is identical for every
+// lane count, so everything returned must be too.
+func runTrace(lanes, nTasks, hops int, skew func(task int) int) (string, uint64, sim.Time) {
+	l := New(lanes)
+	results := make([]sim.Time, nTasks)
+	for i := 0; i < nTasks; i++ {
+		i := i
+		h := l.Lane(i % lanes)
+		var step func(now sim.Time)
+		remaining := hops
+		step = func(now sim.Time) {
+			// Lane-local state only; the skew burns CPU to vary real-time
+			// interleaving without touching virtual time.
+			if skew != nil {
+				x := 0
+				for k := 0; k < skew(i); k++ {
+					x += k
+				}
+				_ = x
+			}
+			results[i] = now // slot i is written only by task i's lane
+			remaining--
+			if remaining > 0 {
+				h.After(sim.Time(10*(i+1)), step)
+			}
+		}
+		h.At(sim.Time(i), step)
+	}
+	var out strings.Builder
+	var end sim.Time
+	l.AtBarrier(1_000_000, func(now sim.Time) {
+		for i, r := range results {
+			fmt.Fprintf(&out, "task%d=%d ", i, r)
+		}
+		end = now
+	})
+	final := l.Run()
+	_ = end
+	return out.String(), l.Steps(), final
+}
+
+// The equivalence battery in miniature: the same seeded workload must
+// produce byte-identical merged output, the same step count, and the same
+// final virtual time for every lane count.
+func TestShardDeterministicAcrossLaneCounts(t *testing.T) {
+	refOut, refSteps, refEnd := runTrace(1, 12, 5, nil)
+	for _, lanes := range []int{2, 3, 4, 8} {
+		out, steps, end := runTrace(lanes, 12, 5, nil)
+		if out != refOut {
+			t.Errorf("lanes=%d merged output differs:\n  got  %s\n  want %s", lanes, out, refOut)
+		}
+		if steps != refSteps {
+			t.Errorf("lanes=%d Steps() = %d, want %d", lanes, steps, refSteps)
+		}
+		if end != refEnd {
+			t.Errorf("lanes=%d final time = %d, want %d", lanes, end, refEnd)
+		}
+	}
+}
+
+// Adversarial barrier ordering: two lanes reach the same barrier in both
+// real-time orders (lane 0 slow then lane 1 slow), injected via CPU skew.
+// The merge output must be identical — virtual time, not arrival order,
+// decides everything.
+func TestShardAdversarialBarrierOrdering(t *testing.T) {
+	heavy := func(task int) int {
+		if task%2 == 0 {
+			return 200_000
+		}
+		return 0
+	}
+	light := func(task int) int {
+		if task%2 == 1 {
+			return 200_000
+		}
+		return 0
+	}
+	outA, stepsA, endA := runTrace(2, 8, 4, heavy)
+	outB, stepsB, endB := runTrace(2, 8, 4, light)
+	if outA != outB {
+		t.Errorf("barrier arrival order changed the merge:\n  A %s\n  B %s", outA, outB)
+	}
+	if stepsA != stepsB || endA != endB {
+		t.Errorf("barrier arrival order changed bookkeeping: steps %d vs %d, end %d vs %d",
+			stepsA, stepsB, endA, endB)
+	}
+}
+
+// A single-lane shard loop executes the exact serial schedule: same event
+// order, same Steps, same final time as a plain sim.Loop.
+func TestShardSingleLaneMatchesSerial(t *testing.T) {
+	build := func(at func(sim.Time, func(sim.Time)), after func(sim.Time, func(sim.Time)), got *[]sim.Time) {
+		var step func(now sim.Time)
+		n := 0
+		step = func(now sim.Time) {
+			*got = append(*got, now)
+			n++
+			if n < 6 {
+				after(7, step)
+			}
+		}
+		at(3, step)
+		at(3, func(now sim.Time) { *got = append(*got, now+1000) })
+	}
+	ref := sim.NewLoop()
+	var refGot []sim.Time
+	build(ref.At, ref.After, &refGot)
+	refEnd := ref.Run()
+
+	l := New(1)
+	h := l.Lane(0)
+	var got []sim.Time
+	build(h.At, h.After, &got)
+	end := l.Run()
+
+	if fmt.Sprint(got) != fmt.Sprint(refGot) {
+		t.Errorf("single-lane schedule differs: got %v, want %v", got, refGot)
+	}
+	if end != refEnd {
+		t.Errorf("final time = %d, want %d", end, refEnd)
+	}
+	if l.Steps() != ref.Steps() {
+		t.Errorf("Steps() = %d, want %d", l.Steps(), ref.Steps())
+	}
+}
+
+// A barrier observes every lane quiesced at or past its timestamp with all
+// earlier lane events executed.
+func TestShardBarrierQuiescence(t *testing.T) {
+	l := New(4)
+	executed := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		for k := 0; k < 3; k++ {
+			l.At(i, sim.Time(10*(k+1)), func(sim.Time) { executed[i]++ })
+		}
+		l.At(i, 500, func(sim.Time) { executed[i] += 100 })
+	}
+	var seen []int
+	var lanesAt []sim.Time
+	l.AtBarrier(100, func(now sim.Time) {
+		seen = append([]int(nil), executed...)
+		for i := 0; i < 4; i++ {
+			lanesAt = append(lanesAt, l.Lane(i).Now())
+		}
+	})
+	l.Run()
+	for i, n := range seen {
+		if n != 3 {
+			t.Errorf("lane %d had run %d pre-barrier events at the barrier, want 3", i, n)
+		}
+		if lanesAt[i] < 100 {
+			t.Errorf("lane %d clock at the barrier = %d, want >= 100", i, lanesAt[i])
+		}
+	}
+	for i, n := range executed {
+		if n != 103 {
+			t.Errorf("lane %d final count = %d, want 103", i, n)
+		}
+	}
+}
+
+// Cross-lane events stage during the round and deliver in (time, origin
+// lane, origin order) — ties broken by origin, never by goroutine timing.
+func TestShardCrossLaneDeliveryOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		l := New(3)
+		var got []string
+		for origin := 0; origin < 2; origin++ {
+			origin := origin
+			h := l.Lane(origin)
+			h.At(10, func(now sim.Time) {
+				h.AtLane(2, 50, func(now sim.Time) {
+					got = append(got, fmt.Sprintf("from%d@%d", origin, now))
+				})
+			})
+		}
+		l.Run()
+		want := "[from0@50 from1@50]"
+		if fmt.Sprint(got) != want {
+			t.Fatalf("trial %d: delivery order %v, want %s", trial, got, want)
+		}
+	}
+}
+
+// Stop halts at the next quiescent point (the end of the current round);
+// later rounds' events stay queued and the next Run resumes them. Barriers
+// split the schedule into rounds, so an event in a later round is a clean
+// probe for "did not run before resume".
+func TestShardStopAndResume(t *testing.T) {
+	l := New(2)
+	preBarrier, postBarrier := 0, 0
+	h := l.Lane(0)
+	h.At(1, func(sim.Time) { preBarrier++; l.Stop() })
+	l.AtBarrier(500, func(sim.Time) {})
+	l.At(1, 1000, func(sim.Time) { postBarrier++ })
+	l.Run()
+	if preBarrier != 1 || postBarrier != 0 {
+		t.Errorf("after Stop: preBarrier=%d postBarrier=%d, want 1/0 (stop at round end)",
+			preBarrier, postBarrier)
+	}
+	l.Run()
+	if postBarrier != 1 {
+		t.Errorf("postBarrier = %d after resume, want 1", postBarrier)
+	}
+}
+
+// A causality violation inside a lane surfaces with the serial loop's
+// panic, re-raised on the coordinator.
+func TestShardPastEventPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if msg, ok := r.(string); !ok || msg != "sim: event scheduled in the past" {
+			t.Errorf("panic = %v, want the serial past-event message", r)
+		}
+	}()
+	l := New(2)
+	h := l.Lane(0)
+	h.At(100, func(sim.Time) { h.At(50, func(sim.Time) {}) })
+	l.Run()
+}
+
+// Loop-level scheduling from inside a running lane is a data race; the
+// scheduler rejects it loudly instead of corrupting a heap.
+func TestShardLoopAtDuringParallelPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "use Lane.At") {
+			t.Errorf("panic = %v, want the Loop.At misuse message", r)
+		}
+	}()
+	l := New(2)
+	l.At(0, 10, func(sim.Time) { l.At(1, 20, func(sim.Time) {}) })
+	l.Run()
+}
+
+// A barrier staged behind the horizon the lanes already ran to is a
+// protocol violation, not a silent reordering.
+func TestShardBarrierBehindHorizonPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "before the horizon") {
+			t.Errorf("panic = %v, want the horizon violation message", r)
+		}
+	}()
+	l := New(2)
+	l.AtBarrier(100, func(sim.Time) {})
+	h := l.Lane(0)
+	h.At(10, func(sim.Time) { h.AtBarrier(20, func(sim.Time) {}) })
+	l.Run()
+}
+
+// Barrier callbacks run on the coordinator and may schedule lane work
+// directly; the next round executes it. Results land in lane-local slots
+// (lanes run concurrently; a shared append would race).
+func TestShardBarrierSchedulesLaneWork(t *testing.T) {
+	l := New(3)
+	slots := make([]string, 3)
+	l.AtBarrier(100, func(now sim.Time) {
+		for i := 0; i < 3; i++ {
+			i := i
+			l.At(i, now+sim.Time(i), func(at sim.Time) {
+				slots[i] = fmt.Sprintf("lane%d@%d", i, at)
+			})
+		}
+	})
+	l.Run()
+	want := []string{"lane0@100", "lane1@101", "lane2@102"}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Errorf("slot %d = %q, want %q", i, slots[i], want[i])
+		}
+	}
+}

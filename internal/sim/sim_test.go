@@ -175,6 +175,112 @@ func TestLoopStop(t *testing.T) {
 	}
 }
 
+// Stop is scoped to the in-progress run: a Stop issued while no run is in
+// progress is cleared by the next Run call, which executes normally. The
+// shard scheduler mirrors this exactly (lanes are plain Loops).
+func TestLoopStopBeforeRunIsCleared(t *testing.T) {
+	l := NewLoop()
+	ran := 0
+	l.At(1, func(Time) { ran++ })
+	l.Stop()
+	l.Run()
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (Stop outside a run must not stick)", ran)
+	}
+}
+
+// Stop during an event halts before the next event even when that event
+// shares the stopping event's timestamp: "after the current event" means
+// exactly one more callback never runs early.
+func TestLoopStopSkipsSameTimeSuccessors(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	l.At(5, func(Time) { got = append(got, 1); l.Stop() })
+	l.At(5, func(Time) { got = append(got, 2) })
+	end := l.Run()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Stop did not halt before same-time successor: %v", got)
+	}
+	if end != 5 || l.Now() != 5 {
+		t.Errorf("stopped at time %d (Now=%d), want 5", end, l.Now())
+	}
+	l.Run()
+	if len(got) != 2 || got[1] != 2 {
+		t.Errorf("resume did not run the deferred same-time event: %v", got)
+	}
+}
+
+// Stop during RunUntil must leave the clock at the stopping event, not at
+// the deadline: events <= deadline can still be queued, and advancing past
+// them would hand their callbacks a non-monotonic clock on resume (and make
+// legal At() calls panic as "in the past").
+func TestLoopStopDuringRunUntilKeepsClock(t *testing.T) {
+	l := NewLoop()
+	var ran []Time
+	l.At(10, func(now Time) { ran = append(ran, now); l.Stop() })
+	l.At(20, func(now Time) { ran = append(ran, now) })
+	end := l.RunUntil(25)
+	if end != 10 || l.Now() != 10 {
+		t.Fatalf("RunUntil stopped at %d (Now=%d), want clock held at 10", end, l.Now())
+	}
+	// The held clock keeps causality intact: scheduling between the stop
+	// point and the deadline is legal, and resume runs everything in order.
+	l.At(15, func(now Time) { ran = append(ran, now) })
+	l.Run()
+	want := []Time{10, 15, 20}
+	if len(ran) != len(want) {
+		t.Fatalf("resume ran %v, want %v", ran, want)
+	}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("resume ran %v, want %v", ran, want)
+		}
+	}
+}
+
+// An event scheduled exactly at the deadline is inside the window.
+func TestLoopRunUntilExactDeadline(t *testing.T) {
+	l := NewLoop()
+	ran := 0
+	l.At(25, func(Time) { ran++ })
+	end := l.RunUntil(25)
+	if ran != 1 {
+		t.Errorf("event at the exact deadline did not run")
+	}
+	if end != 25 || l.Now() != 25 {
+		t.Errorf("RunUntil(25) returned %d (Now=%d), want 25", end, l.Now())
+	}
+}
+
+// RunUntil with an empty window still advances the clock to the deadline.
+func TestLoopRunUntilIdleAdvancesClock(t *testing.T) {
+	l := NewLoop()
+	l.At(100, func(Time) {})
+	if end := l.RunUntil(40); end != 40 {
+		t.Errorf("idle RunUntil(40) returned %d, want 40", end)
+	}
+	if l.Now() != 40 {
+		t.Errorf("Now() = %d, want 40", l.Now())
+	}
+}
+
+// The panic message is part of the contract: the shard scheduler re-raises
+// it verbatim for lane-local causality violations.
+func TestLoopPastEventPanicMessage(t *testing.T) {
+	l := NewLoop()
+	l.At(100, func(now Time) {
+		defer func() {
+			r := recover()
+			msg, ok := r.(string)
+			if !ok || msg != "sim: event scheduled in the past" {
+				t.Errorf("panic = %v, want %q", r, "sim: event scheduled in the past")
+			}
+		}()
+		l.At(50, func(Time) {})
+	})
+	l.Run()
+}
+
 func TestLoopRunUntil(t *testing.T) {
 	l := NewLoop()
 	var got []Time

@@ -211,6 +211,21 @@ func (h Histogram) Delta(prev Histogram) Histogram {
 	return d
 }
 
+// Merge folds other's samples into h. Bucket counts, count, and sum are
+// commutative aggregates and add exactly; max takes the larger side. This
+// is the histogram's //simlint:shared merge strategy, applied at barriers
+// when the parallel scheduler combines per-shard histograms.
+func (h *Histogram) Merge(other Histogram) {
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
 // Counters tracks the byte- and operation-level accounting every device
 // model exposes. Write amplification, PCIe traffic, and DRAM footprints in
 // the experiment tables are all derived from these fields.

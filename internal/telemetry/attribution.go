@@ -124,6 +124,23 @@ func (a OpAttr) Delta(prev OpAttr) OpAttr {
 	return d
 }
 
+// Merge folds other into a. Every field is a commutative aggregate (counts,
+// exact sums, histogram buckets), so per-shard aggregates merged at a
+// barrier equal the serial aggregate exactly — the merge strategy the
+// AttrSink's //simlint:shared annotation names.
+func (a *OpAttr) Merge(other OpAttr) {
+	if a == nil {
+		return
+	}
+	a.Count += other.Count
+	a.TotalSum += other.TotalSum
+	a.Total.Merge(other.Total)
+	for p := 0; p < NumPhases; p++ {
+		a.PhaseSum[p] += other.PhaseSum[p]
+		a.Phase[p].Merge(other.Phase[p])
+	}
+}
+
 // MeanPhase reports the exact mean time per IO spent in phase p.
 func (a OpAttr) MeanPhase(p Phase) sim.Time {
 	if a.Count == 0 {
@@ -145,6 +162,20 @@ func (s AttrSnapshot) Delta(prev AttrSnapshot) AttrSnapshot {
 		d.Ops[k] = s.Ops[k].Delta(prev.Ops[k])
 	}
 	return d
+}
+
+// Merge folds other into s: the barrier-time combine for per-shard
+// AttrSink snapshots. Aggregates sum exactly; sequence numbers are not part
+// of a snapshot (the parallel harness rebases per-shard exemplar seqs
+// separately, in shard order).
+func (s *AttrSnapshot) Merge(other AttrSnapshot) {
+	if s == nil {
+		return
+	}
+	s.Violations += other.Violations
+	for k := 0; k < NumOps; k++ {
+		s.Ops[k].Merge(other.Ops[k])
+	}
 }
 
 // AttrSink collects per-IO latency attribution. One record is active at a

@@ -406,6 +406,27 @@ func (r *Reservoir) Snapshot() Snapshot {
 	return s
 }
 
+// Rebase shifts every retained exemplar's sequence number by delta. The
+// parallel harness runs each shard's stack against its own sink, whose
+// measured-IO numbering starts at 1; rebasing by the total measured-IO
+// count of the preceding shards (in shard order) reproduces the serial
+// reference's numbering exactly, so `-explain <exp>:<seq>` hints stay valid
+// at any shard count. A constant offset preserves the reservoir's
+// worst-K tie-break order (older wins), so only the labels change.
+func (s *Snapshot) Rebase(delta uint64) {
+	if delta == 0 {
+		return
+	}
+	for t := range s.Tenants {
+		for i := range s.Tenants[t] {
+			s.Tenants[t][i].Seq += delta
+		}
+	}
+	for i := range s.Flagged {
+		s.Flagged[i].Seq += delta
+	}
+}
+
 // Drain returns a snapshot of everything captured since the previous Drain
 // and resets the reservoir, so one reservoir shared across stacks yields
 // per-stack sections the way AttrSnapshot deltas do. The snapshot source
